@@ -1,0 +1,169 @@
+// Command rpg2-experiments regenerates the tables and figures of the RPG²
+// paper's evaluation section on the simulated machines.
+//
+// Usage:
+//
+//	rpg2-experiments -all            # everything (takes a while)
+//	rpg2-experiments -fig 7          # one figure
+//	rpg2-experiments -table 3 -quick # one table at reduced scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rpg2"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "regenerate one figure (1,2,3,7,8,9,10,11,12,13)")
+	table := flag.Int("table", 0, "regenerate one table (1,2,3)")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	quick := flag.Bool("quick", false, "reduced scale: fewer inputs, shorter runs")
+	trials := flag.Int("trials", 0, "override RPG² trials per input")
+	flag.Parse()
+
+	opts := rpg2.DefaultExperiments()
+	if *quick {
+		opts = rpg2.QuickExperiments()
+	}
+	if *trials > 0 {
+		opts.Trials = *trials
+	}
+	r := rpg2.NewExperiments(opts)
+
+	if err := run(r, *fig, *table, *all); err != nil {
+		fmt.Fprintln(os.Stderr, "rpg2-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+type renderer interface{ Render(w *os.File) }
+
+func run(r *rpg2.Experiments, fig, table int, all bool) error {
+	out := os.Stdout
+	did := false
+	runFig := func(n int) error {
+		did = true
+		switch n {
+		case 1:
+			res, err := r.Fig1()
+			if err != nil {
+				return err
+			}
+			res.Render(out)
+		case 2:
+			res, err := r.Fig2()
+			if err != nil {
+				return err
+			}
+			res.Render(out)
+		case 3:
+			res, err := r.Fig3()
+			if err != nil {
+				return err
+			}
+			res.Render(out)
+		case 7:
+			res, err := r.Fig7(nil)
+			if err != nil {
+				return err
+			}
+			res.Render(out)
+		case 8:
+			res, err := r.Fig8(nil)
+			if err != nil {
+				return err
+			}
+			res.Render(out)
+		case 9:
+			res, err := r.Fig9()
+			if err != nil {
+				return err
+			}
+			res.Render(out)
+		case 10:
+			res, err := r.Fig10("", "")
+			if err != nil {
+				return err
+			}
+			res.Render(out)
+		case 11:
+			res, err := r.Fig11()
+			if err != nil {
+				return err
+			}
+			res.Render(out)
+		case 12:
+			res, err := r.Fig12()
+			if err != nil {
+				return err
+			}
+			res.Render(out)
+		case 13:
+			res, err := r.Fig13("")
+			if err != nil {
+				return err
+			}
+			res.Render(out)
+		default:
+			return fmt.Errorf("no figure %d (figures 4-6 are design diagrams, not results)", n)
+		}
+		return nil
+	}
+	runTable := func(n int) error {
+		did = true
+		switch n {
+		case 1:
+			res, err := r.Table1()
+			if err != nil {
+				return err
+			}
+			res.Render(out)
+		case 2:
+			res, err := r.Table2()
+			if err != nil {
+				return err
+			}
+			res.Render(out)
+		case 3:
+			res, err := r.Table3(nil)
+			if err != nil {
+				return err
+			}
+			res.Render(out)
+		default:
+			return fmt.Errorf("no table %d", n)
+		}
+		return nil
+	}
+
+	if all {
+		for _, n := range []int{1, 2, 3} {
+			if err := runTable(n); err != nil {
+				return fmt.Errorf("table %d: %w", n, err)
+			}
+		}
+		for _, n := range []int{1, 2, 3, 7, 8, 9, 10, 11, 12, 13} {
+			if err := runFig(n); err != nil {
+				return fmt.Errorf("figure %d: %w", n, err)
+			}
+		}
+		return nil
+	}
+	if fig != 0 {
+		if err := runFig(fig); err != nil {
+			return err
+		}
+	}
+	if table != 0 {
+		if err := runTable(table); err != nil {
+			return err
+		}
+	}
+	if !did {
+		return fmt.Errorf("nothing to do: pass -all, -fig N, or -table N")
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+// Command rpg2-sweep measures the offline prefetch-distance sweep for one
+// benchmark/input/machine combination: the steady-state speedup of every
+// distance over the no-prefetch baseline, plus the sensitivity class the
+// curve falls into (the taxonomy of the paper's Table 3).
+//
+// Usage:
+//
+//	rpg2-sweep -bench sssp -input gowalla-like -machine haswell -step 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rpg2"
+	"rpg2/internal/stats"
+)
+
+func main() {
+	bench := flag.String("bench", "sssp", "benchmark name")
+	input := flag.String("input", "soc-alpha", "graph input (CRONO benchmarks)")
+	machineName := flag.String("machine", "haswell", "machine: cascadelake or haswell")
+	step := flag.Int("step", 1, "distance stride across [1,100]")
+	maxD := flag.Int("max", 100, "largest distance to measure")
+	flag.Parse()
+
+	if err := run(*bench, *input, *machineName, *step, *maxD); err != nil {
+		fmt.Fprintln(os.Stderr, "rpg2-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, input, machineName string, step, maxD int) error {
+	m, ok := rpg2.MachineByName(machineName)
+	if !ok {
+		return fmt.Errorf("unknown machine %q", machineName)
+	}
+	if bench == "is" || bench == "cg" || bench == "randacc" {
+		input = ""
+	}
+	cfg := rpg2.DefaultSweep()
+	cfg.Distances = cfg.Distances[:0]
+	for d := 1; d <= maxD; d += step {
+		cfg.Distances = append(cfg.Distances, d)
+	}
+	sw, err := rpg2.RunSweep(bench, input, m, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# %s/%s on %s — speedup over no-prefetch baseline\n", bench, input, m.Name)
+	fmt.Println("distance speedup")
+	for i, d := range sw.Distances {
+		fmt.Printf("%8d %7.3f\n", d, sw.Speedup[i])
+	}
+	best, bs := sw.Best()
+	fmt.Printf("# best: d=%d (%.3fx)\n", best, bs)
+	fmt.Printf("# class: %v\n", stats.Classify(sw.Distances, sw.Speedup))
+	return nil
+}

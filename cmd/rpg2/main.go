@@ -1,0 +1,112 @@
+// Command rpg2 runs the RPG² online optimizer against one benchmark on a
+// simulated machine and reports what happened: activation, injected sites,
+// the distance search trace, the final outcome, and the resulting speedup
+// over a no-prefetch run of the same length.
+//
+// Usage:
+//
+//	rpg2 -bench pr -input soc-alpha -machine cascadelake -seconds 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"rpg2"
+)
+
+func main() {
+	bench := flag.String("bench", "pr", "benchmark: pr, bfs, sssp, bc, is, cg, randacc")
+	input := flag.String("input", "soc-alpha", "graph input name (CRONO benchmarks; empty for AJ)")
+	machineName := flag.String("machine", "cascadelake", "machine: cascadelake or haswell")
+	seconds := flag.Float64("seconds", 60, "total simulated run duration")
+	seed := flag.Int64("seed", 1, "controller random seed")
+	timeline := flag.Bool("timeline", false, "print the session's performance timeline")
+	flag.Parse()
+
+	if err := run(*bench, *input, *machineName, *seconds, *seed, *timeline); err != nil {
+		fmt.Fprintln(os.Stderr, "rpg2:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, input, machineName string, seconds float64, seed int64, timeline bool) error {
+	m, ok := rpg2.MachineByName(machineName)
+	if !ok {
+		return fmt.Errorf("unknown machine %q", machineName)
+	}
+	if bench == "is" || bench == "cg" || bench == "randacc" {
+		input = ""
+	}
+
+	// No-prefetch reference run of the same duration.
+	w, err := rpg2.BuildWorkload(bench, input)
+	if err != nil {
+		return err
+	}
+	ref, err := rpg2.Launch(m, w)
+	if err != nil {
+		return err
+	}
+	refCounter := rpg2.WatchWork(ref, w)
+	ref.Run(m.Seconds(seconds))
+	refWork := refCounter.Count
+
+	// Optimized run.
+	w2, err := rpg2.BuildWorkload(bench, input)
+	if err != nil {
+		return err
+	}
+	p, err := rpg2.Launch(m, w2)
+	if err != nil {
+		return err
+	}
+	counter := rpg2.WatchWork(p, w2)
+	rep, err := rpg2.Optimize(m, p, rpg2.Config{Seed: seed})
+	if err != nil {
+		return err
+	}
+	if budget := m.Seconds(seconds); p.Clock() < budget {
+		p.Run(budget - p.Clock())
+	}
+	work := counter.Count
+
+	fmt.Printf("benchmark      %s/%s on %s\n", bench, input, m.Name)
+	fmt.Printf("outcome        %v\n", rep.Outcome)
+	fmt.Printf("PEBS samples   %d\n", rep.Samples)
+	if rep.Outcome == rpg2.Tuned || rep.Outcome == rpg2.RolledBack {
+		fmt.Printf("hot function   %s (%d prefetch site(s))\n", rep.FuncName, len(rep.Sites))
+		for _, s := range rep.Sites {
+			fmt.Printf("  site pc=%d category=%v kernel=%d instrs\n", s.DemandPC, s.Category, s.KernelLen)
+		}
+		var ds []int
+		for d := range rep.Explored {
+			ds = append(ds, d)
+		}
+		sort.Ints(ds)
+		fmt.Printf("search         start=%d, explored %d distances:", rep.InitialDistance, len(ds))
+		for _, d := range ds {
+			fmt.Printf(" %d", d)
+		}
+		fmt.Println()
+	}
+	if rep.Outcome == rpg2.Tuned {
+		fmt.Printf("final distance %d\n", rep.FinalDistance)
+	}
+	fmt.Printf("costs          exec=%.1fs bolt=%.1fms insert=%.1fms pd-edit=%.2fms x%d\n",
+		rep.Costs.ExecSeconds, 1000*rep.Costs.BOLTSeconds,
+		1000*rep.Costs.CodeInsertSeconds, 1000*rep.Costs.PDEditSeconds, rep.Costs.PDEdits)
+	if refWork > 0 {
+		fmt.Printf("speedup        %.3fx over no-prefetch (%d vs %d work items in %.0fs)\n",
+			float64(work)/float64(refWork), work, refWork, seconds)
+	}
+	if timeline {
+		fmt.Println("timeline:")
+		for _, pt := range rep.Timeline {
+			fmt.Printf("  t=%6.2fs ipc=%.3f rate=%.4f [%s]\n", pt.Seconds, pt.IPC, pt.Rate, pt.Phase)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+// Offline tuning: use the library's sweep machinery directly — measure the
+// whole prefetch-distance space for a workload, classify the curve's
+// sensitivity type (the paper's Table 3 taxonomy), and compare the oracle's
+// pick against what RPG²'s online search finds.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"rpg2"
+	"rpg2/internal/stats"
+)
+
+func main() {
+	m := rpg2.CascadeLake()
+	const bench, input = "cg", ""
+
+	// Offline: sweep distances 1..100 at steady state.
+	cfg := rpg2.DefaultSweep()
+	sw, err := rpg2.RunSweep(bench, input, m, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, bestSpeedup := sw.Best()
+	class := stats.Classify(sw.Distances, sw.Speedup)
+
+	fmt.Printf("%s on %s — offline distance sweep\n\n", bench, m.Name)
+	fmt.Println(asciiCurve(sw.Distances, sw.Speedup, 64, 12))
+	fmt.Printf("oracle distance: %d (%.2fx), curve class: %v\n\n", best, bestSpeedup, class)
+
+	// Online: what does RPG² find without the oracle?
+	w, err := rpg2.BuildWorkload(bench, input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := rpg2.Launch(m, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := rpg2.Optimize(m, p, rpg2.Config{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RPG² online search: outcome=%v distance=%d after %d probes\n",
+		rep.Outcome, rep.FinalDistance, rep.Costs.PDEdits)
+	if rep.Outcome == rpg2.Tuned {
+		onlineSpeedup := speedupAt(sw, rep.FinalDistance)
+		fmt.Printf("online pick is worth %.2fx vs oracle %.2fx (%.0f%% of optimal)\n",
+			onlineSpeedup, bestSpeedup, 100*onlineSpeedup/bestSpeedup)
+	}
+}
+
+// speedupAt interpolates the sweep at a distance.
+func speedupAt(sw *rpg2.Sweep, d int) float64 {
+	bestI, bestDiff := 0, 1<<30
+	for i, sd := range sw.Distances {
+		diff := sd - d
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff < bestDiff {
+			bestI, bestDiff = i, diff
+		}
+	}
+	return sw.Speedup[bestI]
+}
+
+// asciiCurve renders a simple terminal plot of speedup vs distance.
+func asciiCurve(ds []int, ss []float64, width, height int) string {
+	maxV, minV := ss[0], ss[0]
+	for _, v := range ss {
+		if v > maxV {
+			maxV = v
+		}
+		if v < minV {
+			minV = v
+		}
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range ds {
+		c := i * (width - 1) / max(len(ds)-1, 1)
+		r := int(float64(height-1) * (maxV - ss[i]) / (maxV - minV))
+		grid[r][c] = '*'
+	}
+	var sb strings.Builder
+	for r, row := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%6.2fx ", maxV)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%6.2fx ", minV)
+		}
+		sb.WriteString(label + "|" + string(row) + "\n")
+	}
+	sb.WriteString("        +" + strings.Repeat("-", width) + "\n")
+	sb.WriteString(fmt.Sprintf("         d=%d%sd=%d", ds[0], strings.Repeat(" ", width-8), ds[len(ds)-1]))
+	return sb.String()
+}

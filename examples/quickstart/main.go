@@ -1,0 +1,51 @@
+// Quickstart: attach RPG² to a running PageRank and watch it inject, tune,
+// and keep (or discard) prefetching — the library's minimal end-to-end flow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rpg2"
+)
+
+func main() {
+	// Pick a machine and a workload. soc-alpha is a power-law graph whose
+	// rank array is several times larger than the simulated LLC, so the
+	// indirect load rank[edge[e]] misses constantly — prefetch-friendly.
+	m := rpg2.CascadeLake()
+	w, err := rpg2.BuildWorkload("pr", "soc-alpha")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Launch it and let RPG² optimize the live process.
+	p, err := rpg2.Launch(m, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counter := rpg2.WatchWork(p, w)
+
+	report, err := rpg2.Optimize(m, p, rpg2.Config{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("outcome: %v\n", report.Outcome)
+	fmt.Printf("profiled %d LLC-miss samples; hot function %q\n", report.Samples, report.FuncName)
+	for _, s := range report.Sites {
+		fmt.Printf("injected prefetch kernel: pc=%d category=%v (%d instructions)\n",
+			s.DemandPC, s.Category, s.KernelLen)
+	}
+	if report.Outcome == rpg2.Tuned {
+		fmt.Printf("tuned prefetch distance: %d (explored %d)\n",
+			report.FinalDistance, report.Costs.PDEdits)
+	}
+
+	// The process keeps running the optimized code after RPG² detaches.
+	before := counter.Count
+	p.Run(m.Seconds(5))
+	after := counter.Count
+	fmt.Printf("post-detach throughput: %.0f work items/simulated second\n",
+		float64(after-before)/5)
+}

@@ -1,0 +1,3 @@
+module rpg2
+
+go 1.22

@@ -1,0 +1,55 @@
+package baselines_test
+
+import (
+	"fmt"
+	"testing"
+
+	"rpg2/internal/baselines"
+	"rpg2/internal/machine"
+)
+
+// TestCalibrationCurves is a bring-up diagnostic printing the speedup-vs-
+// distance curve shape for representative workloads. It asserts only loose
+// sanity bounds; its log output is the calibration instrument.
+func TestCalibrationCurves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration diagnostic")
+	}
+	cfg := baselines.SweepConfig{
+		Distances:     []int{1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 160, 200},
+		WarmSeconds:   0.15,
+		WindowSeconds: 0.35,
+		Seed:          0, // no noise: see the raw shape
+	}
+	cases := []struct{ bench, input string }{
+		{"pr", "soc-alpha"},
+		{"pr", "roadnet-pa-like"},
+		{"pr", "as20000102-like"},
+		{"sssp", "as-skitter-like"},
+		{"bfs", "email-euall-like"},
+		{"bc", "synth-u1"},
+		{"is", ""},
+		{"cg", ""},
+		{"randacc", ""},
+	}
+	for _, m := range machine.Both() {
+		for _, tc := range cases {
+			name := fmt.Sprintf("%s/%s/%s", m.Name, tc.bench, tc.input)
+			t.Run(name, func(t *testing.T) {
+				sw, err := baselines.RunSweep(tc.bench, tc.input, m, cfg)
+				if err != nil {
+					t.Fatalf("RunSweep: %v", err)
+				}
+				line := ""
+				for i, d := range sw.Distances {
+					line += fmt.Sprintf(" %d:%.2f", d, sw.Speedup[i])
+				}
+				bd, bs := sw.Best()
+				t.Logf("best d=%d speedup=%.2f |%s", bd, bs, line)
+				if bs > 4.0 {
+					t.Errorf("speedup %.2f at d=%d implausibly high (paper max 2.15)", bs, bd)
+				}
+			})
+		}
+	}
+}

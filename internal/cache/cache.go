@@ -1,0 +1,475 @@
+// Package cache models the memory hierarchy of the simulated machine: a
+// three-level set-associative cache (L1d, L2, shared L3/LLC), an MSHR-style
+// table of in-flight fills, a DRAM model with latency and bounded bandwidth,
+// and a hardware stride prefetcher.
+//
+// The model is deliberately built so the phenomena the RPG² paper depends on
+// emerge from first principles rather than from curve fitting:
+//
+//   - Sequential (stride) access streams are covered by the hardware
+//     prefetcher, so direct a[j] loops rarely miss — matching the paper's
+//     observation that modern CPUs prefetch strides well but struggle with
+//     indirect accesses.
+//   - A software prefetch issued too late overlaps only part of the DRAM
+//     latency: the consuming demand load finds the line in flight and pays
+//     the residual.
+//   - A software prefetch issued too early is installed and then ages in the
+//     LRU like any other line; if the loop's demand traffic churns the cache
+//     before the line is used, the prefetch is (partially or fully) wasted.
+//   - All fills occupy DRAM service slots, so prefetch traffic competes with
+//     demand traffic for bandwidth and prefetching can slow a program down.
+package cache
+
+import (
+	"rpg2/internal/isa"
+	"rpg2/internal/mem"
+)
+
+// Line identifies a cache line (an address shifted by the line size).
+type Line = uint64
+
+// lineShift converts word addresses to line IDs; isa.LineWords must be 8.
+const lineShift = 3
+
+// LineOf returns the cache line containing the word address.
+func LineOf(a mem.Addr) Line { return a >> lineShift }
+
+var _ = isa.LineWords // line geometry is shared with the ISA definition
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	// Name labels the level in stats output ("L1d", "L2", "L3").
+	Name string
+	// Lines is the capacity in cache lines; it must be a multiple of
+	// Assoc and the resulting set count must be a power of two.
+	Lines int
+	// Assoc is the set associativity.
+	Assoc int
+	// Latency is the access latency in cycles charged when this level
+	// services a demand load.
+	Latency uint64
+}
+
+// DRAMConfig describes the memory controller model.
+type DRAMConfig struct {
+	// Latency is the cycles from issuing a fill until data arrives.
+	Latency uint64
+	// ServiceCycles is the occupancy of one line fill at the controller;
+	// its reciprocal is the sustainable fill bandwidth.
+	ServiceCycles uint64
+	// MSHRs bounds the number of in-flight fills. Software and hardware
+	// prefetches are dropped when the table is full; demand fills queue.
+	MSHRs int
+}
+
+// StrideConfig describes the hardware stride prefetcher.
+type StrideConfig struct {
+	// Enabled turns the prefetcher on (the paper runs with all hardware
+	// prefetchers enabled).
+	Enabled bool
+	// TableSize is the number of PC-indexed tracking entries.
+	TableSize int
+	// Confidence is the number of consecutive same-stride accesses
+	// required before the prefetcher starts issuing.
+	Confidence int
+	// Degree is how many lines ahead the prefetcher runs.
+	Degree int
+}
+
+// Config assembles a full hierarchy description.
+type Config struct {
+	L1, L2, L3 LevelConfig
+	DRAM       DRAMConfig
+	Stride     StrideConfig
+}
+
+// AccessKind distinguishes the source of an access for stats and policy.
+type AccessKind uint8
+
+// Access kinds.
+const (
+	// Demand is an architectural load or store.
+	Demand AccessKind = iota
+	// SoftwarePrefetch is an explicit prefetch instruction.
+	SoftwarePrefetch
+	// HardwarePrefetch is issued by the stride engine.
+	HardwarePrefetch
+)
+
+// Result reports the outcome of a demand access.
+type Result struct {
+	// Cycles is the total latency charged to the access.
+	Cycles uint64
+	// LLCMiss is true when the access missed in every cache level and had
+	// to be serviced by DRAM (including waiting on an in-flight fill that
+	// was itself a DRAM fill). This is the event PEBS samples.
+	LLCMiss bool
+	// Level is the level that serviced the access: 1..3 for cache hits,
+	// 4 for DRAM, 0 for an in-flight (MSHR) hit.
+	Level int
+}
+
+// Stats aggregates hierarchy counters.
+type Stats struct {
+	DemandAccesses uint64
+	L1Hits         uint64
+	L2Hits         uint64
+	L3Hits         uint64
+	MSHRHits       uint64
+	DRAMFills      uint64
+	LLCMisses      uint64
+	SWPrefetches   uint64
+	HWPrefetches   uint64
+	DroppedPF      uint64
+	UselessPF      uint64 // prefetched lines evicted from all levels unused
+	TimelyPF       uint64 // demand hits on completed prefetched lines
+	LatePF         uint64 // demand hits on still-in-flight prefetched lines
+}
+
+type level struct {
+	cfg     LevelConfig
+	sets    int
+	setMask uint64
+	tags    []uint64 // line ID + 1; 0 = invalid
+	use     []uint64 // LRU timestamps
+	pf      []bool   // line was brought in by a prefetch and not yet used
+}
+
+func newLevel(cfg LevelConfig) *level {
+	if cfg.Lines%cfg.Assoc != 0 {
+		panic("cache: lines must be a multiple of associativity: " + cfg.Name)
+	}
+	sets := cfg.Lines / cfg.Assoc
+	if sets&(sets-1) != 0 {
+		panic("cache: set count must be a power of two: " + cfg.Name)
+	}
+	return &level{
+		cfg:     cfg,
+		sets:    sets,
+		setMask: uint64(sets - 1),
+		tags:    make([]uint64, cfg.Lines),
+		use:     make([]uint64, cfg.Lines),
+		pf:      make([]bool, cfg.Lines),
+	}
+}
+
+// lookup probes the level; on hit it refreshes LRU state and reports whether
+// the line was an unused prefetch.
+func (l *level) lookup(line Line, clock uint64) (hit, wasPF bool) {
+	base := int(line&l.setMask) * l.cfg.Assoc
+	tag := line + 1
+	for w := 0; w < l.cfg.Assoc; w++ {
+		if l.tags[base+w] == tag {
+			l.use[base+w] = clock
+			wasPF = l.pf[base+w]
+			l.pf[base+w] = false
+			return true, wasPF
+		}
+	}
+	return false, false
+}
+
+// clearPF clears the unused-prefetch mark if the line is present, so a line
+// consumed at an upper level is not later miscounted as a useless prefetch.
+func (l *level) clearPF(line Line) {
+	base := int(line&l.setMask) * l.cfg.Assoc
+	tag := line + 1
+	for w := 0; w < l.cfg.Assoc; w++ {
+		if l.tags[base+w] == tag {
+			l.pf[base+w] = false
+			return
+		}
+	}
+}
+
+// present probes without touching LRU state.
+func (l *level) present(line Line) bool {
+	base := int(line&l.setMask) * l.cfg.Assoc
+	tag := line + 1
+	for w := 0; w < l.cfg.Assoc; w++ {
+		if l.tags[base+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// install fills the line, evicting the LRU way; it returns the evicted line
+// and whether the victim was an unused prefetch.
+func (l *level) install(line Line, clock uint64, isPF bool) (victim Line, victimValid, victimPF bool) {
+	base := int(line&l.setMask) * l.cfg.Assoc
+	tag := line + 1
+	lru, lruUse := base, l.use[base]
+	for w := 0; w < l.cfg.Assoc; w++ {
+		i := base + w
+		if l.tags[i] == tag { // already present; refresh
+			l.use[i] = clock
+			return 0, false, false
+		}
+		if l.tags[i] == 0 {
+			lru, lruUse = i, 0
+		} else if l.use[i] < lruUse {
+			lru, lruUse = i, l.use[i]
+		}
+	}
+	victimValid = l.tags[lru] != 0
+	if victimValid {
+		victim = l.tags[lru] - 1
+		victimPF = l.pf[lru]
+	}
+	l.tags[lru] = tag
+	l.use[lru] = clock
+	l.pf[lru] = isPF
+	return victim, victimValid, victimPF
+}
+
+func (l *level) reset() {
+	clear(l.tags)
+	clear(l.use)
+	clear(l.pf)
+}
+
+type strideEntry struct {
+	pc     uint64
+	last   Line
+	stride int64
+	conf   int
+}
+
+// mshr is one in-flight fill: the line being fetched and the cycle its data
+// arrives. The table is a small fixed array, like the hardware CAM it
+// models; entries whose completion has passed are free.
+type mshr struct {
+	line     Line
+	complete uint64
+	valid    bool
+}
+
+// Hierarchy is the full memory system. It is not safe for concurrent use;
+// the simulated machine drives it from a single goroutine.
+type Hierarchy struct {
+	cfg         Config
+	l1, l2      *level
+	l3          *level
+	clock       uint64 // internal LRU clock (per access)
+	dramFree    uint64 // next cycle the DRAM controller is free
+	maxComplete uint64 // latest in-flight completion, for a fast skip
+	inflight    []mshr
+	stride      []strideEntry
+	stats       Stats
+}
+
+// New builds a hierarchy from the configuration.
+func New(cfg Config) *Hierarchy {
+	h := &Hierarchy{
+		cfg:      cfg,
+		l1:       newLevel(cfg.L1),
+		l2:       newLevel(cfg.L2),
+		l3:       newLevel(cfg.L3),
+		inflight: make([]mshr, cfg.DRAM.MSHRs),
+	}
+	if cfg.Stride.Enabled {
+		h.stride = make([]strideEntry, cfg.Stride.TableSize)
+	}
+	return h
+}
+
+// Stats returns a snapshot of the counters.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// ResetStats zeroes the counters without disturbing cache contents, so
+// measurement windows observe a warm cache.
+func (h *Hierarchy) ResetStats() { h.stats = Stats{} }
+
+// Reset empties all cache state and counters.
+func (h *Hierarchy) Reset() {
+	h.l1.reset()
+	h.l2.reset()
+	h.l3.reset()
+	h.stats = Stats{}
+	h.dramFree = 0
+	h.maxComplete = 0
+	for i := range h.inflight {
+		h.inflight[i] = mshr{}
+	}
+	if h.stride != nil {
+		clear(h.stride)
+	}
+}
+
+// findInflight returns the MSHR index tracking the line (still in flight at
+// the given cycle), or -1.
+func (h *Hierarchy) findInflight(line Line, now uint64) int {
+	for i := range h.inflight {
+		e := &h.inflight[i]
+		if e.valid && e.line == line && e.complete > now {
+			return i
+		}
+	}
+	return -1
+}
+
+// allocInflight claims a free MSHR (invalid or expired); it returns -1 when
+// the table is full.
+func (h *Hierarchy) allocInflight(now uint64) int {
+	for i := range h.inflight {
+		e := &h.inflight[i]
+		if !e.valid || e.complete <= now {
+			return i
+		}
+	}
+	return -1
+}
+
+// installAll fills the line into every level (an inclusive hierarchy), and
+// tracks useless-prefetch victims.
+func (h *Hierarchy) installAll(line Line, isPF bool) {
+	h.l1.install(line, h.clock, isPF)
+	h.l2.install(line, h.clock, isPF)
+	if _, vValid, vPF := h.l3.install(line, h.clock, isPF); vValid && vPF {
+		h.stats.UselessPF++
+	}
+}
+
+// Access performs a demand load or store at word address addr, issued by the
+// instruction at pc at the given cycle, and returns the latency outcome.
+// Stores are modelled as cache accesses with the same fill path but callers
+// typically hide store latency (store buffer), so only loads charge cycles.
+func (h *Hierarchy) Access(pc uint64, addr mem.Addr, now uint64) Result {
+	h.clock++
+	h.stats.DemandAccesses++
+	line := LineOf(addr)
+
+	res := h.demandLookup(line, now)
+
+	if h.cfg.Stride.Enabled {
+		h.strideObserve(pc, line, now+res.Cycles)
+	}
+	return res
+}
+
+func (h *Hierarchy) demandLookup(line Line, now uint64) Result {
+	// A line whose fill is still in flight (a late prefetch) is present
+	// in the arrays but its data has not arrived: the consumer pays the
+	// residual latency. This check must precede the hit paths.
+	if h.maxComplete > now {
+		if i := h.findInflight(line, now); i >= 0 {
+			c := h.inflight[i].complete
+			h.inflight[i].valid = false
+			h.stats.MSHRHits++
+			h.stats.LatePF++
+			h.stats.LLCMisses++
+			h.installAll(line, false)
+			return Result{Cycles: (c - now) + h.cfg.L1.Latency, LLCMiss: true, Level: 0}
+		}
+	}
+	if hit, wasPF := h.l1.lookup(line, h.clock); hit {
+		h.stats.L1Hits++
+		if wasPF {
+			h.stats.TimelyPF++
+			h.l2.clearPF(line)
+			h.l3.clearPF(line)
+		}
+		return Result{Cycles: h.cfg.L1.Latency, Level: 1}
+	}
+	if hit, wasPF := h.l2.lookup(line, h.clock); hit {
+		h.stats.L2Hits++
+		if wasPF {
+			h.stats.TimelyPF++
+			h.l3.clearPF(line)
+		}
+		h.l1.install(line, h.clock, false)
+		return Result{Cycles: h.cfg.L2.Latency, Level: 2}
+	}
+	if hit, wasPF := h.l3.lookup(line, h.clock); hit {
+		h.stats.L3Hits++
+		if wasPF {
+			h.stats.TimelyPF++
+		}
+		h.l1.install(line, h.clock, false)
+		h.l2.install(line, h.clock, false)
+		return Result{Cycles: h.cfg.L3.Latency, Level: 3}
+	}
+	// Full miss: occupy a DRAM service slot.
+	h.stats.DRAMFills++
+	h.stats.LLCMisses++
+	start := max(now, h.dramFree)
+	h.dramFree = start + h.cfg.DRAM.ServiceCycles
+	complete := start + h.cfg.DRAM.Latency
+	h.installAll(line, false)
+	return Result{Cycles: complete - now, LLCMiss: true, Level: 4}
+}
+
+// Prefetch requests the line containing addr without blocking. It returns
+// true if a fill was actually started (for stats and tests). kind selects
+// software vs hardware prefetch accounting.
+func (h *Hierarchy) Prefetch(addr mem.Addr, now uint64, kind AccessKind) bool {
+	h.clock++
+	line := LineOf(addr)
+	switch kind {
+	case SoftwarePrefetch:
+		h.stats.SWPrefetches++
+	case HardwarePrefetch:
+		h.stats.HWPrefetches++
+	}
+	if h.l1.present(line) || h.l2.present(line) || h.l3.present(line) {
+		return false
+	}
+	if h.findInflight(line, now) >= 0 {
+		return false
+	}
+	slot := h.allocInflight(now)
+	if slot < 0 {
+		h.stats.DroppedPF++
+		return false
+	}
+	start := max(now, h.dramFree)
+	h.dramFree = start + h.cfg.DRAM.ServiceCycles
+	complete := start + h.cfg.DRAM.Latency
+	if complete > h.maxComplete {
+		h.maxComplete = complete
+	}
+	h.inflight[slot] = mshr{line: line, complete: complete, valid: true}
+	// Install immediately (marked prefetched) so the line participates in
+	// replacement from issue time; consumers arriving before completion
+	// pay the residual via the inflight table.
+	h.installAll(line, true)
+	return true
+}
+
+// strideObserve trains the stride table on a demand access and issues
+// hardware prefetches once confident.
+func (h *Hierarchy) strideObserve(pc uint64, line Line, now uint64) {
+	e := &h.stride[pc%uint64(len(h.stride))]
+	if e.pc != pc {
+		*e = strideEntry{pc: pc, last: line}
+		return
+	}
+	d := int64(line) - int64(e.last)
+	if d == 0 {
+		return // same line; no information
+	}
+	if d == e.stride {
+		e.conf++
+	} else {
+		e.stride = d
+		e.conf = 0
+	}
+	e.last = line
+	if e.conf >= h.cfg.Stride.Confidence {
+		for i := 1; i <= h.cfg.Stride.Degree; i++ {
+			next := int64(line) + e.stride*int64(i)
+			if next < 0 {
+				break
+			}
+			h.Prefetch(mem.Addr(next)<<lineShift, now, HardwarePrefetch)
+		}
+	}
+}
+
+// Present reports whether the line holding addr is in any cache level; used
+// by tests and by the useless-prefetch accounting.
+func (h *Hierarchy) Present(addr mem.Addr) bool {
+	line := LineOf(addr)
+	return h.l1.present(line) || h.l2.present(line) || h.l3.present(line)
+}

@@ -1,0 +1,253 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"rpg2/internal/mem"
+)
+
+// testConfig is a tiny hierarchy where eviction behaviour is easy to reason
+// about: L1 4 lines (2-way), L2 8 lines, L3 16 lines.
+func testConfig() Config {
+	return Config{
+		L1:   LevelConfig{Name: "L1d", Lines: 4, Assoc: 2, Latency: 1},
+		L2:   LevelConfig{Name: "L2", Lines: 8, Assoc: 2, Latency: 10},
+		L3:   LevelConfig{Name: "L3", Lines: 16, Assoc: 4, Latency: 30},
+		DRAM: DRAMConfig{Latency: 100, ServiceCycles: 4, MSHRs: 4},
+	}
+}
+
+func addr(line Line) mem.Addr { return line << lineShift }
+
+func TestColdMissThenHits(t *testing.T) {
+	h := New(testConfig())
+	r := h.Access(1, addr(7), 0)
+	if !r.LLCMiss || r.Level != 4 || r.Cycles != 100 {
+		t.Fatalf("cold access: %+v", r)
+	}
+	r = h.Access(1, addr(7), 200)
+	if r.LLCMiss || r.Level != 1 || r.Cycles != 1 {
+		t.Fatalf("warm access should hit L1: %+v", r)
+	}
+	// A different word on the same line also hits.
+	r = h.Access(1, addr(7)+3, 300)
+	if r.Level != 1 {
+		t.Fatalf("same-line access should hit: %+v", r)
+	}
+	s := h.Stats()
+	if s.DRAMFills != 1 || s.L1Hits != 2 || s.LLCMisses != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestInclusiveEvictionFallsBackToL2L3(t *testing.T) {
+	h := New(testConfig())
+	now := uint64(0)
+	// Fill lines 0,2,4,6: all map to L1 set 0 (setMask 1, even lines),
+	// L1 is 2-way, so two of them get evicted from L1 but stay in L2/L3.
+	for _, l := range []Line{0, 2, 4, 6} {
+		h.Access(1, addr(l), now)
+		now += 200
+	}
+	r := h.Access(1, addr(0), now)
+	if r.Level != 2 && r.Level != 3 {
+		t.Fatalf("L1-evicted line should hit L2/L3, got level %d", r.Level)
+	}
+	if r.LLCMiss {
+		t.Fatal("should not reach DRAM")
+	}
+}
+
+func TestDRAMBandwidthSerializesFills(t *testing.T) {
+	h := New(testConfig())
+	// Two misses at the same instant: the second completes later because
+	// the controller can only start one fill per ServiceCycles.
+	r1 := h.Access(1, addr(10), 0)
+	r2 := h.Access(1, addr(20), 0)
+	if r2.Cycles != r1.Cycles+4 {
+		t.Fatalf("second fill should queue: %d vs %d", r2.Cycles, r1.Cycles)
+	}
+}
+
+func TestPrefetchTimely(t *testing.T) {
+	h := New(testConfig())
+	if !h.Prefetch(addr(5), 0, SoftwarePrefetch) {
+		t.Fatal("prefetch should start a fill")
+	}
+	// After completion, the demand load is an L1 hit.
+	r := h.Access(1, addr(5), 150)
+	if r.LLCMiss || r.Level != 1 {
+		t.Fatalf("timely prefetch not honoured: %+v", r)
+	}
+	s := h.Stats()
+	if s.TimelyPF != 1 || s.SWPrefetches != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestPrefetchLatePaysResidual(t *testing.T) {
+	h := New(testConfig())
+	h.Prefetch(addr(5), 0, SoftwarePrefetch) // completes at 100
+	r := h.Access(1, addr(5), 40)
+	if !r.LLCMiss || r.Level != 0 {
+		t.Fatalf("late prefetch should be an MSHR hit: %+v", r)
+	}
+	want := uint64(100-40) + 1 // residual + L1 fill latency
+	if r.Cycles != want {
+		t.Fatalf("residual = %d, want %d", r.Cycles, want)
+	}
+	if h.Stats().LatePF != 1 {
+		t.Fatalf("stats: %+v", h.Stats())
+	}
+}
+
+func TestPrefetchDeduplicates(t *testing.T) {
+	h := New(testConfig())
+	if !h.Prefetch(addr(5), 0, SoftwarePrefetch) {
+		t.Fatal("first prefetch should fill")
+	}
+	if h.Prefetch(addr(5), 10, SoftwarePrefetch) {
+		t.Fatal("second prefetch of an in-flight line should be a no-op")
+	}
+	if h.Prefetch(addr(5), 500, SoftwarePrefetch) {
+		t.Fatal("prefetch of a cached line should be a no-op")
+	}
+}
+
+func TestPrefetchDroppedWhenMSHRsFull(t *testing.T) {
+	h := New(testConfig())
+	for l := Line(0); l < 4; l++ {
+		if !h.Prefetch(addr(l*8), 0, SoftwarePrefetch) {
+			t.Fatalf("prefetch %d should start", l)
+		}
+	}
+	if h.Prefetch(addr(99), 0, SoftwarePrefetch) {
+		t.Fatal("fifth concurrent prefetch should be dropped (4 MSHRs)")
+	}
+	if h.Stats().DroppedPF != 1 {
+		t.Fatalf("stats: %+v", h.Stats())
+	}
+	// After the fills complete, capacity frees up.
+	if !h.Prefetch(addr(99), 500, SoftwarePrefetch) {
+		t.Fatal("prefetch after drain should start")
+	}
+}
+
+func TestStridePrefetcherCoversSequentialStream(t *testing.T) {
+	cfg := testConfig()
+	cfg.Stride = StrideConfig{Enabled: true, TableSize: 8, Confidence: 2, Degree: 2}
+	h := New(cfg)
+	now := uint64(0)
+	misses := 0
+	// Walk 64 consecutive lines from one PC; after training, the stride
+	// engine should hide most of the stream.
+	for l := Line(0); l < 64; l++ {
+		r := h.Access(42, addr(l), now)
+		if r.LLCMiss {
+			misses++
+		}
+		now += 150 // slow enough for prefetches to land
+	}
+	if misses > 10 {
+		t.Fatalf("stride prefetcher covered too little: %d/64 misses", misses)
+	}
+	if h.Stats().HWPrefetches == 0 {
+		t.Fatal("no hardware prefetches issued")
+	}
+}
+
+func TestStridePrefetcherIgnoresRandomPattern(t *testing.T) {
+	cfg := testConfig()
+	cfg.Stride = StrideConfig{Enabled: true, TableSize: 8, Confidence: 2, Degree: 2}
+	h := New(cfg)
+	rng := rand.New(rand.NewSource(1))
+	now := uint64(0)
+	issuedBefore := h.Stats().HWPrefetches
+	for i := 0; i < 200; i++ {
+		h.Access(42, addr(Line(rng.Intn(1<<20))), now)
+		now += 150
+	}
+	issued := h.Stats().HWPrefetches - issuedBefore
+	if issued > 40 {
+		t.Fatalf("stride engine fired %d times on a random stream", issued)
+	}
+}
+
+func TestUselessPrefetchCounted(t *testing.T) {
+	h := New(testConfig())
+	h.Prefetch(addr(3), 0, SoftwarePrefetch)
+	// Churn the whole hierarchy so line 3 is evicted everywhere unused.
+	now := uint64(200)
+	for l := Line(100); l < 160; l++ {
+		h.Access(1, addr(l), now)
+		now += 200
+	}
+	if h.Stats().UselessPF == 0 {
+		t.Fatal("evicted-unused prefetch not counted")
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	h := New(testConfig())
+	h.Access(1, addr(7), 0)
+	h.Prefetch(addr(9), 0, SoftwarePrefetch)
+	h.Reset()
+	if h.Stats() != (Stats{}) {
+		t.Fatalf("stats not cleared: %+v", h.Stats())
+	}
+	if h.Present(addr(7)) || h.Present(addr(9)) {
+		t.Fatal("cache contents not cleared")
+	}
+	r := h.Access(1, addr(7), 0)
+	if !r.LLCMiss {
+		t.Fatal("access after reset should miss")
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	h := New(testConfig())
+	h.Access(1, addr(7), 0)
+	h.ResetStats()
+	if h.Stats().DemandAccesses != 0 {
+		t.Fatal("stats not reset")
+	}
+	if r := h.Access(1, addr(7), 500); r.Level != 1 {
+		t.Fatalf("contents should survive ResetStats: %+v", r)
+	}
+}
+
+// Property: every demand access is serviced by exactly one place, so the
+// per-level counters always sum to the total.
+func TestStatsConservationProperty(t *testing.T) {
+	cfg := testConfig()
+	cfg.Stride = StrideConfig{Enabled: true, TableSize: 8, Confidence: 2, Degree: 2}
+	h := New(cfg)
+	rng := rand.New(rand.NewSource(7))
+	now := uint64(0)
+	for i := 0; i < 5000; i++ {
+		if rng.Intn(4) == 0 {
+			h.Prefetch(addr(Line(rng.Intn(256))), now, SoftwarePrefetch)
+		}
+		h.Access(uint64(rng.Intn(4)), addr(Line(rng.Intn(256))), now)
+		now += uint64(rng.Intn(50))
+	}
+	s := h.Stats()
+	if got := s.L1Hits + s.L2Hits + s.L3Hits + s.MSHRHits + s.DRAMFills; got != s.DemandAccesses {
+		t.Fatalf("conservation violated: %d serviced vs %d accesses (%+v)", got, s.DemandAccesses, s)
+	}
+	if s.LLCMisses != s.MSHRHits+s.DRAMFills {
+		t.Fatalf("LLC misses %d != MSHR %d + DRAM %d", s.LLCMisses, s.MSHRHits, s.DRAMFills)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	bad := testConfig()
+	bad.L1.Lines = 6 // 3 sets: not a power of two
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad geometry should panic at construction")
+		}
+	}()
+	New(bad)
+}

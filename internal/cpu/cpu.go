@@ -1,0 +1,310 @@
+// Package cpu implements the execution core of the simulated machine: an
+// interpreter for the isa instruction set with a cycle-accounting model.
+//
+// The timing model charges one base cycle per instruction plus memory
+// latency from the cache hierarchy. Out-of-order overlap of independent
+// last-level-cache misses is modelled with an MLP window: up to MLP demand
+// misses may be outstanding before the core stalls waiting for the oldest.
+// This reproduces the key property that makes software prefetching worth
+// ~2x rather than ~20x on real machines: the baseline already overlaps
+// misses, so prefetching buys the gap between MLP-limited and
+// bandwidth-limited throughput.
+package cpu
+
+import (
+	"fmt"
+
+	"rpg2/internal/cache"
+	"rpg2/internal/isa"
+	"rpg2/internal/mem"
+)
+
+// Thread is an architectural thread context: a register file and a PC.
+type Thread struct {
+	// Regs is the general-purpose register file; Regs[isa.SP] is the
+	// stack pointer.
+	Regs [isa.NumRegs]uint64
+	// PC is the global index of the next instruction in the text segment.
+	PC int
+	// Halted is set when the thread executes Halt.
+	Halted bool
+	// Fault records a memory fault that killed the thread, if any.
+	Fault *mem.Fault
+}
+
+// Runnable reports whether the thread can execute further instructions.
+func (t *Thread) Runnable() bool { return !t.Halted && t.Fault == nil }
+
+// Watch counts retirements of a set of instruction addresses. Experiments
+// watch a loop's demand load (in both the original and any rewritten
+// function) to obtain an exact work-per-cycle rate that is comparable
+// across binaries, unlike IPC, which the prefetch kernel's extra
+// instructions inflate.
+type Watch struct {
+	// PCs are the watched instruction addresses.
+	PCs []int
+	// Count is the total retirements of any watched PC.
+	Count uint64
+}
+
+// NewWatch builds a watch over the given PCs.
+func NewWatch(pcs []int) *Watch { return &Watch{PCs: append([]int(nil), pcs...)} }
+
+// Extend unions additional PCs into the watch without touching its count.
+func (w *Watch) Extend(pcs []int) {
+	have := make(map[int]bool, len(w.PCs))
+	for _, pc := range w.PCs {
+		have[pc] = true
+	}
+	for _, pc := range pcs {
+		if !have[pc] {
+			w.PCs = append(w.PCs, pc)
+			have[pc] = true
+		}
+	}
+}
+
+func (w *Watch) observe(pc int) {
+	for _, p := range w.PCs {
+		if p == pc {
+			w.Count++
+			return
+		}
+	}
+}
+
+// Config holds the core's microarchitectural parameters.
+type Config struct {
+	// MLP is the number of demand LLC misses that may overlap before the
+	// core stalls (an abstraction of the out-of-order window and miss
+	// queue).
+	MLP int
+	// BranchCost is the extra cycles charged for a taken branch.
+	BranchCost uint64
+}
+
+// Core executes one thread at a time against a shared cache hierarchy, and
+// owns that hardware context's cycle clock and retired-instruction counter.
+type Core struct {
+	cfg  Config
+	hier *cache.Hierarchy
+
+	// Now is the core's cycle clock.
+	Now uint64
+	// Instructions counts retired instructions.
+	Instructions uint64
+
+	// OnLLCMiss, if set, is invoked for every retired demand load that
+	// missed the LLC; package perf hooks PEBS sampling here.
+	OnLLCMiss func(pc int, addr mem.Addr)
+	// Watches are the retirement counters attached to this core. Each
+	// watch counts retirements of its PCs independently, so several
+	// observers (an experiment harness and the RPG² controller, say) can
+	// count different instruction sets on the same core without
+	// interfering. A single Watch may be attached to several cores; its
+	// count then aggregates across them.
+	Watches []*Watch
+	// OnInitDone, if set, is invoked when the thread retires an InitDone
+	// marker (the benchmark's end-of-initialisation signal).
+	OnInitDone func()
+
+	outstanding []uint64 // completion cycles of in-flight demand misses
+}
+
+// New builds a core bound to a hierarchy.
+func New(cfg Config, hier *cache.Hierarchy) *Core {
+	if cfg.MLP < 1 {
+		cfg.MLP = 1
+	}
+	return &Core{cfg: cfg, hier: hier}
+}
+
+// Hierarchy returns the cache hierarchy the core is attached to.
+func (c *Core) Hierarchy() *cache.Hierarchy { return c.hier }
+
+// ResetWindow clears the outstanding-miss window, e.g. after the thread has
+// been stopped and resumed by the tracer.
+func (c *Core) ResetWindow() { c.outstanding = c.outstanding[:0] }
+
+// chargeMiss applies the MLP model to a demand miss that completes at the
+// given absolute cycle and returns the stall charged now.
+func (c *Core) chargeMiss(completion uint64) uint64 {
+	if len(c.outstanding) < c.cfg.MLP {
+		c.outstanding = append(c.outstanding, completion)
+		return 0
+	}
+	// Window full: wait for the oldest outstanding miss to retire.
+	oldest := c.outstanding[0]
+	copy(c.outstanding, c.outstanding[1:])
+	c.outstanding[len(c.outstanding)-1] = completion
+	if oldest > c.Now {
+		return oldest - c.Now
+	}
+	return 0
+}
+
+// ErrHalted is returned (wrapped) when stepping a non-runnable thread.
+var ErrHalted = fmt.Errorf("cpu: thread is not runnable")
+
+// Step executes one instruction of the thread against the given text segment
+// and address space, advancing the core clock. A memory fault on a demand
+// access records the fault on the thread and stops it, like a fatal SIGSEGV.
+func (c *Core) Step(t *Thread, text []isa.Instr, as *mem.AddrSpace) error {
+	if !t.Runnable() {
+		return ErrHalted
+	}
+	if t.PC < 0 || t.PC >= len(text) {
+		t.Fault = &mem.Fault{Addr: uint64(t.PC)}
+		return fmt.Errorf("cpu: pc %d outside text segment", t.PC)
+	}
+	in := text[t.PC]
+	pc := t.PC
+	t.PC++
+	c.Now++
+	c.Instructions++
+	for _, w := range c.Watches {
+		w.observe(pc)
+	}
+
+	r := &t.Regs
+	switch in.Op {
+	case isa.Nop, isa.InitDone:
+		if in.Op == isa.InitDone && c.OnInitDone != nil {
+			c.OnInitDone()
+		}
+	case isa.MovImm:
+		r[in.Rd] = uint64(in.Imm)
+	case isa.Mov:
+		r[in.Rd] = r[in.Rs1]
+	case isa.Add:
+		r[in.Rd] = r[in.Rs1] + r[in.Rs2]
+	case isa.AddImm:
+		r[in.Rd] = r[in.Rs1] + uint64(in.Imm)
+	case isa.Sub:
+		r[in.Rd] = r[in.Rs1] - r[in.Rs2]
+	case isa.SubImm:
+		r[in.Rd] = r[in.Rs1] - uint64(in.Imm)
+	case isa.Mul:
+		r[in.Rd] = r[in.Rs1] * r[in.Rs2]
+	case isa.MulImm:
+		r[in.Rd] = r[in.Rs1] * uint64(in.Imm)
+	case isa.ShlImm:
+		r[in.Rd] = r[in.Rs1] << uint64(in.Imm)
+	case isa.ShrImm:
+		r[in.Rd] = r[in.Rs1] >> uint64(in.Imm)
+	case isa.AndImm:
+		r[in.Rd] = r[in.Rs1] & uint64(in.Imm)
+	case isa.Min:
+		a, b := r[in.Rs1], r[in.Rs2]
+		if b < a {
+			a = b
+		}
+		r[in.Rd] = a
+	case isa.Load:
+		addr := r[in.Rs1] + uint64(in.Imm)
+		if in.Rs2 != isa.NoReg {
+			addr += r[in.Rs2]
+		}
+		v, ok := as.Read(addr)
+		if !ok {
+			t.Fault = &mem.Fault{Addr: addr}
+			return nil
+		}
+		res := c.hier.Access(uint64(pc), addr, c.Now)
+		c.chargeLoad(pc, addr, res)
+		r[in.Rd] = v
+	case isa.Store:
+		addr := r[in.Rs1] + uint64(in.Imm)
+		if in.Rs2 != isa.NoReg {
+			addr += r[in.Rs2]
+		}
+		if !as.Write(addr, r[in.Rd]) {
+			t.Fault = &mem.Fault{Addr: addr, Write: true}
+			return nil
+		}
+		// Stores occupy the fill path (write-allocate) but do not stall
+		// the core: store-miss latency hides behind the store buffer.
+		c.hier.Access(uint64(pc), addr, c.Now)
+	case isa.Prefetch:
+		addr := r[in.Rs1] + uint64(in.Imm)
+		if in.Rs2 != isa.NoReg {
+			addr += r[in.Rs2]
+		}
+		// Prefetch never faults: unmapped addresses are dropped.
+		if as.Mapped(addr) {
+			c.hier.Prefetch(addr, c.Now, cache.SoftwarePrefetch)
+		}
+	case isa.Br:
+		if in.Cond.Holds(r[in.Rs1], r[in.Rs2]) {
+			t.PC = in.Target
+			c.Now += c.cfg.BranchCost
+		}
+	case isa.BrImm:
+		if in.Cond.Holds(r[in.Rs1], uint64(in.Imm)) {
+			t.PC = in.Target
+			c.Now += c.cfg.BranchCost
+		}
+	case isa.Jmp:
+		t.PC = in.Target
+		c.Now += c.cfg.BranchCost
+	case isa.Call:
+		r[isa.SP]--
+		if !as.Write(r[isa.SP], uint64(t.PC)) {
+			t.Fault = &mem.Fault{Addr: r[isa.SP], Write: true}
+			return nil
+		}
+		t.PC = in.Target
+		c.Now += c.cfg.BranchCost
+	case isa.Ret:
+		v, ok := as.Read(r[isa.SP])
+		if !ok {
+			t.Fault = &mem.Fault{Addr: r[isa.SP]}
+			return nil
+		}
+		r[isa.SP]++
+		t.PC = int(v)
+		c.Now += c.cfg.BranchCost
+	case isa.Push:
+		r[isa.SP]--
+		if !as.Write(r[isa.SP], r[in.Rs1]) {
+			t.Fault = &mem.Fault{Addr: r[isa.SP], Write: true}
+			return nil
+		}
+	case isa.Pop:
+		v, ok := as.Read(r[isa.SP])
+		if !ok {
+			t.Fault = &mem.Fault{Addr: r[isa.SP]}
+			return nil
+		}
+		r[isa.SP]++
+		r[in.Rd] = v
+	case isa.Halt:
+		t.Halted = true
+	default:
+		return fmt.Errorf("cpu: pc %d: unknown opcode %v", pc, in.Op)
+	}
+	return nil
+}
+
+// chargeLoad applies load latency: cache hits pay their level latency
+// directly; LLC misses enter the MLP window.
+func (c *Core) chargeLoad(pc int, addr mem.Addr, res cache.Result) {
+	if res.LLCMiss {
+		completion := c.Now + res.Cycles
+		c.Now += c.chargeMiss(completion)
+		if c.OnLLCMiss != nil {
+			c.OnLLCMiss(pc, addr)
+		}
+		return
+	}
+	c.Now += res.Cycles
+}
+
+// IPC returns instructions-per-cycle over the core's lifetime. Callers that
+// need windows should difference Instructions and Now themselves.
+func (c *Core) IPC() float64 {
+	if c.Now == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(c.Now)
+}

@@ -1,0 +1,271 @@
+package cpu
+
+import (
+	"testing"
+
+	"rpg2/internal/cache"
+	"rpg2/internal/isa"
+	"rpg2/internal/mem"
+)
+
+func testHier() *cache.Hierarchy {
+	return cache.New(cache.Config{
+		L1:   cache.LevelConfig{Name: "L1d", Lines: 8, Assoc: 2, Latency: 1},
+		L2:   cache.LevelConfig{Name: "L2", Lines: 16, Assoc: 2, Latency: 10},
+		L3:   cache.LevelConfig{Name: "L3", Lines: 32, Assoc: 4, Latency: 30},
+		DRAM: cache.DRAMConfig{Latency: 100, ServiceCycles: 4, MSHRs: 8},
+	})
+}
+
+// runProgram assembles one function, executes it to completion, and returns
+// the core, thread, and address space for inspection.
+func runProgram(t *testing.T, build func(a *isa.Asm), setup func(as *mem.AddrSpace, regs *[isa.NumRegs]uint64), cfg Config) (*Core, *Thread, *mem.AddrSpace) {
+	t.Helper()
+	a := isa.NewAsm("main")
+	build(a)
+	bin, err := isa.NewProgram("main").Add(a).Link()
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	as := mem.NewAddrSpace()
+	th := &Thread{}
+	stack := as.Alloc("stack", 64)
+	th.Regs[isa.SP] = stack.End()
+	if setup != nil {
+		setup(as, &th.Regs)
+	}
+	core := New(cfg, testHier())
+	for i := 0; i < 100000 && th.Runnable(); i++ {
+		if err := core.Step(th, bin.Text, as); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	return core, th, as
+}
+
+func TestALUOpcodes(t *testing.T) {
+	_, th, _ := runProgram(t, func(a *isa.Asm) {
+		a.MovImm(0, 10)
+		a.MovImm(1, 3)
+		a.Add(2, 0, 1)    // 13
+		a.Sub(3, 0, 1)    // 7
+		a.Mul(4, 0, 1)    // 30
+		a.AddImm(5, 0, 5) // 15
+		a.SubImm(6, 0, 4) // 6
+		a.MulImm(7, 1, 7) // 21
+		a.ShrImm(8, 0, 1) // 5
+		a.AndImm(9, 0, 6) // 2
+		a.Min(10, 0, 1)   // 3
+		a.Mov(11, 2)      // 13
+		a.Halt()
+	}, nil, Config{MLP: 2})
+	want := map[isa.Reg]uint64{2: 13, 3: 7, 4: 30, 5: 15, 6: 6, 7: 21, 8: 5, 9: 2, 10: 3, 11: 13}
+	for r, v := range want {
+		if th.Regs[r] != v {
+			t.Errorf("r%d = %d, want %d", r, th.Regs[r], v)
+		}
+	}
+	if !th.Halted {
+		t.Fatal("program did not halt")
+	}
+}
+
+func TestLoadStoreAndBranchLoop(t *testing.T) {
+	// Sum array of 10 elements.
+	_, th, _ := runProgram(t, func(a *isa.Asm) {
+		a.MovImm(1, 0) // i
+		a.MovImm(2, 0) // sum
+		a.Label("loop")
+		a.LoadIdx(3, 0, 1, 0)
+		a.Add(2, 2, 3)
+		a.AddImm(1, 1, 1)
+		a.BrImm(isa.LT, 1, 10, "loop")
+		a.Store(4, 0, 2) // out[0] = sum
+		a.Halt()
+	}, func(as *mem.AddrSpace, regs *[isa.NumRegs]uint64) {
+		data := make([]uint64, 10)
+		for i := range data {
+			data[i] = uint64(i + 1)
+		}
+		regs[0] = as.Map("data", data).Base
+		regs[4] = as.Alloc("out", 1).Base
+	}, Config{MLP: 2})
+	if th.Regs[2] != 55 {
+		t.Fatalf("sum = %d, want 55", th.Regs[2])
+	}
+}
+
+func TestCallRetAndStack(t *testing.T) {
+	a1 := isa.NewAsm("main")
+	a1.MovImm(0, 21)
+	a1.Call("double")
+	a1.Halt()
+	a2 := isa.NewAsm("double")
+	a2.Push(1)
+	a2.MovImm(1, 2)
+	a2.Mul(0, 0, 1)
+	a2.Pop(1)
+	a2.Ret()
+	bin, err := isa.NewProgram("main").Add(a1).Add(a2).Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := mem.NewAddrSpace()
+	th := &Thread{}
+	stack := as.Alloc("stack", 64)
+	th.Regs[isa.SP] = stack.End()
+	th.Regs[1] = 0xDEAD
+	core := New(Config{MLP: 2}, testHier())
+	for th.Runnable() {
+		if err := core.Step(th, bin.Text, as); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if th.Regs[0] != 42 {
+		t.Fatalf("r0 = %d, want 42", th.Regs[0])
+	}
+	if th.Regs[1] != 0xDEAD {
+		t.Fatal("callee did not restore the spilled register")
+	}
+	if th.Regs[isa.SP] != stack.End() {
+		t.Fatal("stack pointer not balanced")
+	}
+}
+
+func TestLoadFaultKillsThread(t *testing.T) {
+	_, th, _ := runProgram(t, func(a *isa.Asm) {
+		a.MovImm(0, 0) // address 0 is never mapped
+		a.Load(1, 0, 0)
+		a.Halt()
+	}, nil, Config{MLP: 2})
+	if th.Fault == nil {
+		t.Fatal("load from unmapped memory must fault")
+	}
+	if th.Runnable() {
+		t.Fatal("faulted thread must not be runnable")
+	}
+}
+
+func TestPrefetchNeverFaults(t *testing.T) {
+	_, th, _ := runProgram(t, func(a *isa.Asm) {
+		a.MovImm(0, 0)
+		a.Prefetch(0, 0) // unmapped: silently dropped
+		a.MovImm(2, 99)
+		a.Halt()
+	}, nil, Config{MLP: 2})
+	if th.Fault != nil {
+		t.Fatalf("prefetch faulted: %v", th.Fault)
+	}
+	if th.Regs[2] != 99 {
+		t.Fatal("execution did not continue after prefetch")
+	}
+}
+
+func TestInitDoneCallback(t *testing.T) {
+	fired := false
+	a := isa.NewAsm("main")
+	a.InitDone()
+	a.Halt()
+	bin, _ := isa.NewProgram("main").Add(a).Link()
+	as := mem.NewAddrSpace()
+	th := &Thread{}
+	core := New(Config{MLP: 1}, testHier())
+	core.OnInitDone = func() { fired = true }
+	for th.Runnable() {
+		core.Step(th, bin.Text, as)
+	}
+	if !fired {
+		t.Fatal("InitDone callback not invoked")
+	}
+}
+
+func TestWatchCountsOnlyItsPCs(t *testing.T) {
+	w1 := NewWatch([]int{1})
+	w2 := NewWatch([]int{2, 3})
+	a := isa.NewAsm("main")
+	a.MovImm(0, 0) // pc 0
+	a.MovImm(1, 0) // pc 1
+	a.MovImm(2, 0) // pc 2
+	a.MovImm(3, 0) // pc 3
+	a.Halt()
+	bin, _ := isa.NewProgram("main").Add(a).Link()
+	as := mem.NewAddrSpace()
+	th := &Thread{}
+	core := New(Config{MLP: 1}, testHier())
+	core.Watches = []*Watch{w1, w2}
+	for th.Runnable() {
+		core.Step(th, bin.Text, as)
+	}
+	if w1.Count != 1 || w2.Count != 2 {
+		t.Fatalf("watch counts: %d, %d; want 1, 2", w1.Count, w2.Count)
+	}
+}
+
+func TestWatchExtendDeduplicates(t *testing.T) {
+	w := NewWatch([]int{1, 2})
+	w.Extend([]int{2, 3})
+	if len(w.PCs) != 3 {
+		t.Fatalf("PCs = %v, want 3 unique entries", w.PCs)
+	}
+}
+
+// TestMLPOverlapsMisses checks the core of the timing model: with a wider
+// MLP window, a burst of independent misses costs fewer cycles.
+func TestMLPOverlapsMisses(t *testing.T) {
+	run := func(mlp int) uint64 {
+		core, _, _ := runProgram(t, func(a *isa.Asm) {
+			// 8 loads to distinct lines, no dependencies.
+			for i := 0; i < 8; i++ {
+				a.Load(1, 0, int64(i*64))
+			}
+			a.Halt()
+		}, func(as *mem.AddrSpace, regs *[isa.NumRegs]uint64) {
+			regs[0] = as.Alloc("data", 4096).Base
+		}, Config{MLP: mlp})
+		return core.Now
+	}
+	serial := run(1)
+	overlapped := run(8)
+	if overlapped > serial/2 {
+		t.Fatalf("MLP=8 (%d cycles) should be far cheaper than MLP=1 (%d cycles)", overlapped, serial)
+	}
+	// MLP=1 keeps one miss in flight while the next issues, so a burst of
+	// n misses costs roughly (n-1) full latencies.
+	if serial < 7*50 {
+		t.Fatalf("MLP=1 should serialize misses, got only %d cycles", serial)
+	}
+}
+
+func TestStepOnHaltedThreadErrors(t *testing.T) {
+	core := New(Config{MLP: 1}, testHier())
+	th := &Thread{Halted: true}
+	if err := core.Step(th, nil, nil); err == nil {
+		t.Fatal("stepping a halted thread must error")
+	}
+}
+
+func TestPCOutOfRangeFaults(t *testing.T) {
+	core := New(Config{MLP: 1}, testHier())
+	th := &Thread{PC: 99}
+	if err := core.Step(th, make([]isa.Instr, 5), mem.NewAddrSpace()); err == nil {
+		t.Fatal("out-of-range PC must error")
+	}
+	if th.Fault == nil {
+		t.Fatal("out-of-range PC must record a fault")
+	}
+}
+
+func TestIPCAccounting(t *testing.T) {
+	core, _, _ := runProgram(t, func(a *isa.Asm) {
+		for i := 0; i < 10; i++ {
+			a.MovImm(0, int64(i))
+		}
+		a.Halt()
+	}, nil, Config{MLP: 1})
+	if core.Instructions != 11 {
+		t.Fatalf("instructions = %d, want 11", core.Instructions)
+	}
+	if ipc := core.IPC(); ipc <= 0 || ipc > 1 {
+		t.Fatalf("IPC = %f", ipc)
+	}
+}

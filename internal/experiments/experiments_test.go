@@ -1,0 +1,140 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"rpg2/internal/baselines"
+	"rpg2/internal/experiments"
+	"rpg2/internal/graphs"
+	"rpg2/internal/machine"
+)
+
+// tinyOptions shrinks everything so the full pipeline runs in seconds.
+func tinyOptions() experiments.Options {
+	o := experiments.QuickOptions()
+	o.CRONOInputs = []graphs.Input{
+		mustInput("soc-alpha"),
+		mustInput("as20000102-like"),
+	}
+	o.SynthInputs = []graphs.Input{mustInput("synth-small"), mustInput("synth-u1")}
+	o.RunSeconds = 15
+	o.Trials = 1
+	o.Sweep = baselines.SweepConfig{
+		Distances:     []int{1, 4, 8, 16, 32, 64},
+		WarmSeconds:   0.1,
+		WindowSeconds: 0.25,
+		Seed:          1,
+	}
+	return o
+}
+
+func mustInput(name string) graphs.Input {
+	in, ok := graphs.FindInput(name)
+	if !ok {
+		panic("unknown input " + name)
+	}
+	return in
+}
+
+func TestFig7QuickPipeline(t *testing.T) {
+	r := experiments.NewRunner(tinyOptions())
+	res, err := r.Fig7([]string{"pr", "is"})
+	if err != nil {
+		t.Fatalf("Fig7: %v", err)
+	}
+	for _, p := range res.Pairs {
+		if p.Err != nil {
+			t.Errorf("cell %s/%s/%s failed: %v", p.Bench, p.Input, p.Machine, p.Err)
+			continue
+		}
+		if p.Speedup["rpg2"] <= 0 {
+			t.Errorf("cell %s/%s/%s has no rpg2 speedup", p.Bench, p.Input, p.Machine)
+		}
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	t.Log(sb.String())
+	if !strings.Contains(sb.String(), "Figure 7") {
+		t.Fatal("render produced no output")
+	}
+	// The miss-heavy input should see a clear RPG² win on at least one
+	// machine; the LLC-resident one should stay near 1.0 (never far below).
+	for _, p := range res.Pairs {
+		if p.Err != nil {
+			continue
+		}
+		if p.Input == "as20000102-like" && p.Speedup["rpg2"] < 0.90 {
+			t.Errorf("robustness violated: rpg2 %.2fx on LLC-resident input (%s)", p.Speedup["rpg2"], p.Machine)
+		}
+	}
+}
+
+func TestTable2Latencies(t *testing.T) {
+	o := tinyOptions()
+	o.Machines = []machine.Machine{machine.CascadeLake()}
+	r := experiments.NewRunner(o)
+	res, err := r.Table2()
+	if err != nil {
+		t.Fatalf("Table2: %v", err)
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	t.Log(sb.String())
+	for _, row := range res.Rows {
+		if row.Costs.PDEdits == 0 {
+			continue // not activated at this tiny scale
+		}
+		if ms := 1000 * row.Costs.PDEditSeconds; ms < 0.3 || ms > 5 {
+			t.Errorf("%s: pd edit %.2f ms outside plausible range (paper: 1.1-1.4)", row.Bench, ms)
+		}
+		if ms := 1000 * row.Costs.CodeInsertSeconds; ms < 1 || ms > 20 {
+			t.Errorf("%s: code insert %.2f ms outside plausible range (paper: 3-4)", row.Bench, ms)
+		}
+	}
+}
+
+func TestTable1Categories(t *testing.T) {
+	o := tinyOptions()
+	r := experiments.NewRunner(o)
+	res, err := r.Table1()
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	t.Log(sb.String())
+	want := []string{"direct a[j]", "indirect a[f(b[j])]", "indirect a[f(b[i]+j)]"}
+	if len(res.Rows) != 3 {
+		t.Fatalf("want 3 exemplars, got %d", len(res.Rows))
+	}
+	for i, row := range res.Rows {
+		if row.Category.String() != want[i] {
+			t.Errorf("exemplar %d classified %q, want %q", i, row.Category, want[i])
+		}
+	}
+}
+
+func TestFig13AsymmetricGrid(t *testing.T) {
+	o := tinyOptions()
+	o.Machines = []machine.Machine{machine.CascadeLake()}
+	r := experiments.NewRunner(o)
+	res, err := r.Fig13("soc-alpha")
+	if err != nil {
+		t.Fatalf("Fig13: %v", err)
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	t.Log(sb.String())
+	best := 0.0
+	for _, row := range res.Speedup {
+		for _, v := range row {
+			if v > best {
+				best = v
+			}
+		}
+	}
+	if best < 1.1 {
+		t.Errorf("asymmetric grid shows no speedup anywhere (best %.2f)", best)
+	}
+}

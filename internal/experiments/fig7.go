@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"rpg2/internal/machine"
+	"rpg2/internal/rpg2"
+	"rpg2/internal/stats"
+)
+
+// Scheme names for the Figure 7 comparison (§4.1.1).
+const (
+	SchemeOriginal   = "original"
+	SchemeRPG2       = "rpg2"
+	SchemeActiveOnly = "active-only"
+	SchemeAPTGET     = "apt-get"
+	SchemeOffline    = "offline"
+	SchemeManual     = "manual"
+)
+
+// PairResult holds one (benchmark, input, machine) cell of Figure 7: the
+// speedup over the original binary for each scheme.
+type PairResult struct {
+	Bench, Input, Machine string
+	// Speedup maps scheme name to mean speedup; RPG² entries aggregate
+	// the configured number of trials.
+	Speedup map[string]float64
+	// RPG2Outcomes counts controller outcomes across trials.
+	RPG2Outcomes map[rpg2.Outcome]int
+	// RPG2Trials stores every trial's speedup, for variance.
+	RPG2Trials []float64
+	// FinalDistances are the tuned distances of activated trials.
+	FinalDistances []int
+	// Err records a failed cell (skipped in aggregates).
+	Err error
+}
+
+// Fig7Result aggregates the main performance comparison.
+type Fig7Result struct {
+	Pairs []*PairResult
+}
+
+// Fig7 runs the full scheme comparison of Figure 7.
+func (r *Runner) Fig7(benches []string) (*Fig7Result, error) {
+	if len(benches) == 0 {
+		benches = []string{"pr", "bfs", "sssp", "bc", "is", "cg", "randacc"}
+	}
+	type job struct {
+		bench, input string
+		m            machine.Machine
+	}
+	var jobs []job
+	for _, m := range r.opts.Machines {
+		for _, b := range benches {
+			for _, in := range r.inputsFor(b) {
+				jobs = append(jobs, job{bench: b, input: in, m: m})
+			}
+		}
+	}
+	res := &Fig7Result{Pairs: make([]*PairResult, len(jobs))}
+
+	// APT-GET distances are per (bench, machine); compute them up front
+	// so parallel cells share them.
+	aptget := make(map[string]int)
+	var agMu sync.Mutex
+	r.parDo(len(jobs), func(i int) {
+		j := jobs[i]
+		key := j.bench + "|" + j.m.Name
+		agMu.Lock()
+		_, done := aptget[key]
+		agMu.Unlock()
+		if done {
+			return
+		}
+		d, err := r.aptgetDistance(j.bench, j.m)
+		agMu.Lock()
+		if _, dup := aptget[key]; !dup && err == nil {
+			aptget[key] = d
+		}
+		agMu.Unlock()
+	})
+
+	r.parDo(len(jobs), func(i int) {
+		j := jobs[i]
+		pr := &PairResult{
+			Bench: j.bench, Input: j.input, Machine: j.m.Name,
+			Speedup:      make(map[string]float64),
+			RPG2Outcomes: make(map[rpg2.Outcome]int),
+		}
+		res.Pairs[i] = pr
+
+		orig, err := r.runOriginal(j.bench, j.input, j.m)
+		if err != nil || orig.Work == 0 {
+			pr.Err = fmt.Errorf("original run: %v (work=%d)", err, orig.Work)
+			return
+		}
+		pr.Speedup[SchemeOriginal] = 1.0
+		speedup := func(rr runResult) float64 { return float64(rr.Work) / float64(orig.Work) }
+
+		// RPG² trials.
+		var activeSum float64
+		activeN := 0
+		for t := 0; t < r.opts.Trials; t++ {
+			rr, err := r.runRPG2(j.bench, j.input, j.m, rpg2.Config{Seed: r.opts.Seed + int64(1000*i+t)})
+			if err != nil {
+				pr.Err = fmt.Errorf("rpg2 trial %d: %w", t, err)
+				return
+			}
+			s := speedup(rr)
+			pr.RPG2Trials = append(pr.RPG2Trials, s)
+			pr.RPG2Outcomes[rr.Report.Outcome]++
+			if rr.Report.Outcome != rpg2.NotActivated {
+				activeSum += s
+				activeN++
+			}
+			if rr.Report.Outcome == rpg2.Tuned {
+				pr.FinalDistances = append(pr.FinalDistances, rr.Report.FinalDistance)
+			}
+		}
+		pr.Speedup[SchemeRPG2] = stats.Mean(pr.RPG2Trials)
+		if activeN > 0 {
+			pr.Speedup[SchemeActiveOnly] = activeSum / float64(activeN)
+		}
+
+		// Offline: this input's own best distance.
+		if sw, err := r.sweep(j.bench, j.input, j.m); err == nil {
+			d, _ := sw.Best()
+			if rr, err := r.runStatic(j.bench, j.input, j.m, d); err == nil {
+				pr.Speedup[SchemeOffline] = speedup(rr)
+			}
+		}
+		// APT-GET: one distance per benchmark/machine.
+		agMu.Lock()
+		d, ok := aptget[j.bench+"|"+j.m.Name]
+		agMu.Unlock()
+		if ok {
+			if rr, err := r.runStatic(j.bench, j.input, j.m, d); err == nil {
+				pr.Speedup[SchemeAPTGET] = speedup(rr)
+			}
+		}
+		// Manual (AJ benchmarks only).
+		if md := manualDistance(j.bench); md > 0 {
+			if rr, err := r.runStatic(j.bench, j.input, j.m, md); err == nil {
+				pr.Speedup[SchemeManual] = speedup(rr)
+			}
+		}
+	})
+	return res, nil
+}
+
+func manualDistance(bench string) int {
+	switch bench {
+	case "is", "randacc":
+		return 64
+	case "cg":
+		return 32
+	}
+	return 0
+}
+
+// Group is one bar group of Figure 7: all / speedup / slowdown.
+type Group struct {
+	Name   string
+	Inputs int
+	// Mean and Std per scheme.
+	Mean map[string]float64
+	Std  map[string]float64
+}
+
+// BenchSummary is Figure 7's content for one benchmark on one machine.
+type BenchSummary struct {
+	Bench, Machine string
+	Groups         []Group
+}
+
+// Summarize reduces the pair results into the paper's all/speedup/slowdown
+// bar groups per benchmark and machine. The speedup group contains inputs
+// where RPG² beat the original; the slowdown group contains inputs where
+// RPG² detected a regression and rolled back (§4.2).
+func (f *Fig7Result) Summarize() []BenchSummary {
+	type key struct{ bench, mach string }
+	byBM := make(map[key][]*PairResult)
+	for _, p := range f.Pairs {
+		if p == nil || p.Err != nil {
+			continue
+		}
+		k := key{p.Bench, p.Machine}
+		byBM[k] = append(byBM[k], p)
+	}
+	var keys []key
+	for k := range byBM {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].mach != keys[j].mach {
+			return keys[i].mach < keys[j].mach
+		}
+		return keys[i].bench < keys[j].bench
+	})
+
+	var out []BenchSummary
+	for _, k := range keys {
+		pairs := byBM[k]
+		inSpeedup := func(p *PairResult) bool { return p.Speedup[SchemeRPG2] > 1.005 }
+		inSlowdown := func(p *PairResult) bool {
+			return p.RPG2Outcomes[rpg2.RolledBack]*2 > sumOutcomes(p.RPG2Outcomes)
+		}
+		groups := []struct {
+			name   string
+			filter func(*PairResult) bool
+		}{
+			{"all", func(*PairResult) bool { return true }},
+			{"speedup", inSpeedup},
+			{"slowdown", inSlowdown},
+		}
+		bs := BenchSummary{Bench: k.bench, Machine: k.mach}
+		for _, g := range groups {
+			grp := Group{Name: g.name, Mean: make(map[string]float64), Std: make(map[string]float64)}
+			bySch := make(map[string][]float64)
+			for _, p := range pairs {
+				if !g.filter(p) {
+					continue
+				}
+				grp.Inputs++
+				for sch, v := range p.Speedup {
+					bySch[sch] = append(bySch[sch], v)
+				}
+			}
+			for sch, vs := range bySch {
+				grp.Mean[sch] = stats.Mean(vs)
+				grp.Std[sch] = stats.StdDev(vs)
+			}
+			bs.Groups = append(bs.Groups, grp)
+		}
+		out = append(out, bs)
+	}
+	return out
+}
+
+func sumOutcomes(m map[rpg2.Outcome]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Render prints the summary in the paper's bar-group layout.
+func (f *Fig7Result) Render(w io.Writer) {
+	schemes := []string{SchemeRPG2, SchemeActiveOnly, SchemeAPTGET, SchemeManual, SchemeOffline}
+	for _, bs := range f.Summarize() {
+		fmt.Fprintf(w, "\nFigure 7 — %s on %s (speedup over original; mean±std)\n", bs.Bench, bs.Machine)
+		fmt.Fprintf(w, "%-12s", "group(n)")
+		for _, s := range schemes {
+			fmt.Fprintf(w, " %14s", s)
+		}
+		fmt.Fprintln(w)
+		for _, g := range bs.Groups {
+			fmt.Fprintf(w, "%-12s", fmt.Sprintf("%s(%d)", g.Name, g.Inputs))
+			for _, s := range schemes {
+				if g.Inputs == 0 {
+					fmt.Fprintf(w, " %14s", "-")
+					continue
+				}
+				if m, ok := g.Mean[s]; ok {
+					fmt.Fprintf(w, " %8.2f±%-5.2f", m, g.Std[s])
+				} else {
+					fmt.Fprintf(w, " %14s", "-")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	// Per-input detail for failed cells.
+	for _, p := range f.Pairs {
+		if p != nil && p.Err != nil {
+			fmt.Fprintf(w, "SKIPPED %s/%s/%s: %v\n", p.Bench, p.Input, p.Machine, p.Err)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"rpg2/internal/machine"
+	"rpg2/internal/rpg2"
+	"rpg2/internal/stats"
+)
+
+// Fig8Result is the search-accuracy histogram: for inputs with a clear
+// single optimal distance, how far RPG²'s search landed from it.
+type Fig8Result struct {
+	// Deltas holds |found - optimal| per (input, trial) where RPG² tuned.
+	Deltas []float64
+	// Inputs is the number of single-optimal inputs considered.
+	Inputs int
+	// Edges and Counts form the rendered histogram.
+	Edges  []float64
+	Counts []int
+}
+
+// Fig8 reproduces Figure 8: run RPG² on every input that classifies as
+// single-optimal and histogram the distance error against the sweep optimum.
+func (r *Runner) Fig8(benches []string) (*Fig8Result, error) {
+	if len(benches) == 0 {
+		benches = []string{"pr", "bfs", "sssp", "bc", "is", "cg", "randacc"}
+	}
+	type cell struct {
+		bench, input string
+		m            machine.Machine
+		optimal      int
+	}
+	var cells []cell
+	for _, m := range r.opts.Machines {
+		for _, b := range benches {
+			for _, in := range r.inputsFor(b) {
+				sw, err := r.sweep(b, in, m)
+				if err != nil {
+					continue
+				}
+				if stats.Classify(sw.Distances, sw.Speedup) != stats.SingleOptimal {
+					continue
+				}
+				d, _ := sw.Best()
+				cells = append(cells, cell{b, in, m, d})
+			}
+		}
+	}
+	out := &Fig8Result{Inputs: len(cells)}
+	deltas := make([][]float64, len(cells))
+	r.parDo(len(cells), func(i int) {
+		c := cells[i]
+		for t := 0; t < r.opts.Trials; t++ {
+			rr, err := r.runRPG2(c.bench, c.input, c.m, rpg2.Config{Seed: r.opts.Seed + int64(31*i+t)})
+			if err != nil || rr.Report.Outcome != rpg2.Tuned {
+				continue
+			}
+			d := rr.Report.FinalDistance - c.optimal
+			if d < 0 {
+				d = -d
+			}
+			deltas[i] = append(deltas[i], float64(d))
+		}
+	})
+	for _, ds := range deltas {
+		out.Deltas = append(out.Deltas, ds...)
+	}
+	out.Edges = []float64{0, 4, 11, 21, 41, 81}
+	out.Counts = stats.Histogram(out.Deltas, out.Edges)
+	return out, nil
+}
+
+// Render prints the Figure 8 histogram.
+func (f *Fig8Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "\nFigure 8 — |found - optimal| distance across %d single-optimal inputs (%d tuned runs)\n",
+		f.Inputs, len(f.Deltas))
+	labels := []string{"0-3", "4-10", "11-20", "21-40", "41-80", ">80"}
+	within10 := 0
+	for i, c := range f.Counts {
+		fmt.Fprintf(w, "  %-6s %d\n", labels[i], c)
+		if i < 2 {
+			within10 += c
+		}
+	}
+	if n := len(f.Deltas); n > 0 {
+		fmt.Fprintf(w, "  within 10 of optimal: %.0f%%\n", 100*float64(within10)/float64(n))
+	}
+}
+
+// Fig9Result is the profiling-duration sensitivity study: how often RPG²'s
+// optimization phases activate as the profiling window grows.
+type Fig9Result struct {
+	Durations []float64
+	// Always/Mixed/Never count inputs whose trials all activated, some
+	// activated, or none activated.
+	Always, Mixed, Never []int
+}
+
+// Fig9 reproduces Figure 9 for pr on the first machine.
+func (r *Runner) Fig9() (*Fig9Result, error) {
+	m := r.opts.Machines[0]
+	durations := []float64{0.5, 1, 2, 4}
+	inputs := r.inputsFor("pr")
+	out := &Fig9Result{Durations: durations}
+	out.Always = make([]int, len(durations))
+	out.Mixed = make([]int, len(durations))
+	out.Never = make([]int, len(durations))
+
+	type cell struct {
+		di, ii int
+	}
+	var cells []cell
+	for di := range durations {
+		for ii := range inputs {
+			cells = append(cells, cell{di, ii})
+		}
+	}
+	trials := max(r.opts.Trials, 2)
+	actives := make([]int, len(cells))
+	r.parDo(len(cells), func(i int) {
+		c := cells[i]
+		for t := 0; t < trials; t++ {
+			rr, err := r.runRPG2("pr", inputs[c.ii], m, rpg2.Config{
+				ProfileSeconds: durations[c.di],
+				Seed:           r.opts.Seed + int64(7*i+t),
+			})
+			if err == nil && rr.Report.Outcome != rpg2.NotActivated {
+				actives[i]++
+			}
+		}
+	})
+	for i, c := range cells {
+		switch {
+		case actives[i] == trials:
+			out.Always[c.di]++
+		case actives[i] == 0:
+			out.Never[c.di]++
+		default:
+			out.Mixed[c.di]++
+		}
+	}
+	return out, nil
+}
+
+// Render prints the Figure 9 activation breakdown.
+func (f *Fig9Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "\nFigure 9 — pr activation vs profiling duration (inputs: always/mixed/never)\n")
+	for i, d := range f.Durations {
+		fmt.Fprintf(w, "  %4.1fs: always=%d mixed=%d never=%d\n", d, f.Always[i], f.Mixed[i], f.Never[i])
+	}
+}
+
+// Fig10Result holds two session timelines: a speedup case and a rollback
+// case.
+type Fig10Result struct {
+	Speedup, Rollback *SessionTimeline
+}
+
+// SessionTimeline is one RPG² session's performance trace extended past
+// detach.
+type SessionTimeline struct {
+	Bench, Input, Machine string
+	Outcome               rpg2.Outcome
+	FinalDistance         int
+	Points                []rpg2.TimelinePoint
+}
+
+// Fig10 reproduces Figure 10: run RPG² on a prefetch-friendly pr input and
+// on a prefetch-hostile one, recording the performance timeline through
+// profiling, insertion, tuning, and (for the hostile case) rollback.
+func (r *Runner) Fig10(friendly, hostile string) (*Fig10Result, error) {
+	m := r.opts.Machines[0]
+	if friendly == "" {
+		friendly = r.inputsFor("pr")[0]
+	}
+	if hostile == "" {
+		hostile = "as20000102-like"
+	}
+	run := func(input string) (*SessionTimeline, error) {
+		rr, err := r.timelineRun("pr", input, m)
+		if err != nil {
+			return nil, err
+		}
+		return rr, nil
+	}
+	var out Fig10Result
+	var err error
+	if out.Speedup, err = run(friendly); err != nil {
+		return nil, err
+	}
+	if out.Rollback, err = run(hostile); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// timelineRun performs one session and appends post-detach measurement
+// windows to the timeline.
+func (r *Runner) timelineRun(bench, input string, m machine.Machine) (*SessionTimeline, error) {
+	rr, err := r.runRPG2WithTail(bench, input, m, rpg2.Config{Seed: r.opts.Seed, MinSamples: 10})
+	return rr, err
+}
+
+// Render prints both timelines.
+func (f *Fig10Result) Render(w io.Writer) {
+	for _, s := range []*SessionTimeline{f.Speedup, f.Rollback} {
+		if s == nil {
+			continue
+		}
+		fmt.Fprintf(w, "\nFigure 10 — %s/%s on %s: outcome=%v d=%d\n",
+			s.Bench, s.Input, s.Machine, s.Outcome, s.FinalDistance)
+		sort.Slice(s.Points, func(i, j int) bool { return s.Points[i].Seconds < s.Points[j].Seconds })
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "  t=%6.2fs  ipc=%.3f  rate=%.4f  [%s]\n", p.Seconds, p.IPC, p.Rate, p.Phase)
+		}
+	}
+}

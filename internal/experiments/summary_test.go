@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rpg2/internal/rpg2"
+)
+
+// synthPair builds a PairResult with the given rpg2 speedup and outcomes.
+func synthPair(bench, input, mach string, speedup float64, outcomes map[rpg2.Outcome]int) *PairResult {
+	return &PairResult{
+		Bench: bench, Input: input, Machine: mach,
+		Speedup: map[string]float64{
+			SchemeOriginal: 1.0,
+			SchemeRPG2:     speedup,
+			SchemeOffline:  speedup * 1.05,
+		},
+		RPG2Outcomes: outcomes,
+		RPG2Trials:   []float64{speedup},
+	}
+}
+
+func TestFig7SummarizeGroups(t *testing.T) {
+	res := &Fig7Result{Pairs: []*PairResult{
+		synthPair("pr", "a", "cl", 1.5, map[rpg2.Outcome]int{rpg2.Tuned: 3}),
+		synthPair("pr", "b", "cl", 1.2, map[rpg2.Outcome]int{rpg2.Tuned: 3}),
+		synthPair("pr", "c", "cl", 1.0, map[rpg2.Outcome]int{rpg2.RolledBack: 3}),
+		synthPair("pr", "d", "cl", 1.0, map[rpg2.Outcome]int{rpg2.NotActivated: 3}),
+		{Bench: "pr", Input: "e", Machine: "cl", Err: errFake}, // skipped
+	}}
+	sums := res.Summarize()
+	if len(sums) != 1 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	bs := sums[0]
+	if bs.Bench != "pr" || bs.Machine != "cl" {
+		t.Fatalf("summary key %s/%s", bs.Bench, bs.Machine)
+	}
+	byName := map[string]Group{}
+	for _, g := range bs.Groups {
+		byName[g.Name] = g
+	}
+	if byName["all"].Inputs != 4 {
+		t.Fatalf("all group has %d inputs, want 4 (failed cell excluded)", byName["all"].Inputs)
+	}
+	if byName["speedup"].Inputs != 2 {
+		t.Fatalf("speedup group has %d inputs, want 2", byName["speedup"].Inputs)
+	}
+	if byName["slowdown"].Inputs != 1 {
+		t.Fatalf("slowdown group has %d inputs, want 1 (majority rolled back)", byName["slowdown"].Inputs)
+	}
+	// Means: all = (1.5+1.2+1.0+1.0)/4.
+	if m := byName["all"].Mean[SchemeRPG2]; m < 1.17 || m > 1.18 {
+		t.Fatalf("all-group rpg2 mean = %f", m)
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"Figure 7 — pr on cl", "all(4)", "speedup(2)", "slowdown(1)", "SKIPPED pr/e/cl"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+var errFake = errFakeType{}
+
+type errFakeType struct{}
+
+func (errFakeType) Error() string { return "synthetic failure" }
+
+func TestInputsForEachBenchmark(t *testing.T) {
+	r := NewRunner(QuickOptions())
+	if got := r.inputsFor("pr"); len(got) == 0 {
+		t.Fatal("pr has no inputs")
+	}
+	if got := r.inputsFor("bc"); len(got) == 0 {
+		t.Fatal("bc has no inputs")
+	}
+	if got := r.inputsFor("is"); len(got) != 1 || got[0] != "" {
+		t.Fatalf("is inputs = %v", got)
+	}
+}
+
+func TestManualDistances(t *testing.T) {
+	if manualDistance("is") == 0 || manualDistance("cg") == 0 || manualDistance("randacc") == 0 {
+		t.Fatal("AJ manual distances missing")
+	}
+	if manualDistance("pr") != 0 {
+		t.Fatal("pr must not have a manual distance")
+	}
+}
+
+func TestParDoRunsEverythingOnce(t *testing.T) {
+	r := NewRunner(Options{Parallelism: 4})
+	hits := make([]int, 100)
+	r.parDo(len(hits), func(i int) { hits[i]++ })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+// Package graphs provides the graph substrate for the CRONO workloads: a
+// compressed-sparse-row representation, deterministic synthetic generators
+// spanning the structural variety of the paper's SNAP inputs (uniform,
+// power-law/RMAT, grid, ring), and a named input catalogue standing in for
+// the real-world SNAP datasets.
+//
+// The property of an input that the paper shows drives prefetch behaviour is
+// its memory-level shape: the size of the indirectly accessed arrays
+// relative to the LLC, and the per-iteration work (average degree, locality
+// of the index stream). Those are exactly the generator knobs.
+package graphs
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Graph is a directed graph in CSR form with optional edge weights.
+type Graph struct {
+	// N is the vertex count.
+	N int
+	// Offsets has length N+1; vertex v's out-edges are
+	// Edges[Offsets[v]:Offsets[v+1]].
+	Offsets []uint64
+	// Edges holds destination vertex ids.
+	Edges []uint64
+	// Weights holds per-edge weights (same length as Edges); nil when
+	// unweighted.
+	Weights []uint64
+	// SrcOf holds the source vertex of each edge (the transpose index
+	// used by flat edge-loop kernels); same length as Edges.
+	SrcOf []uint64
+}
+
+// M returns the edge count.
+func (g *Graph) M() int { return len(g.Edges) }
+
+// AvgDegree returns the mean out-degree.
+func (g *Graph) AvgDegree() float64 {
+	if g.N == 0 {
+		return 0
+	}
+	return float64(g.M()) / float64(g.N)
+}
+
+// Validate checks CSR invariants.
+func (g *Graph) Validate() error {
+	if len(g.Offsets) != g.N+1 {
+		return fmt.Errorf("graphs: offsets length %d, want %d", len(g.Offsets), g.N+1)
+	}
+	if g.Offsets[0] != 0 || g.Offsets[g.N] != uint64(len(g.Edges)) {
+		return fmt.Errorf("graphs: offsets endpoints [%d,%d], want [0,%d]", g.Offsets[0], g.Offsets[g.N], len(g.Edges))
+	}
+	for v := 0; v < g.N; v++ {
+		if g.Offsets[v] > g.Offsets[v+1] {
+			return fmt.Errorf("graphs: offsets not monotone at %d", v)
+		}
+	}
+	for i, e := range g.Edges {
+		if e >= uint64(g.N) {
+			return fmt.Errorf("graphs: edge %d targets %d >= n=%d", i, e, g.N)
+		}
+	}
+	if g.Weights != nil && len(g.Weights) != len(g.Edges) {
+		return fmt.Errorf("graphs: weights length %d, want %d", len(g.Weights), len(g.Edges))
+	}
+	if len(g.SrcOf) != len(g.Edges) {
+		return fmt.Errorf("graphs: srcof length %d, want %d", len(g.SrcOf), len(g.Edges))
+	}
+	for i, s := range g.SrcOf {
+		if s >= uint64(g.N) {
+			return fmt.Errorf("graphs: srcof %d is %d >= n=%d", i, s, g.N)
+		}
+	}
+	return nil
+}
+
+// fromAdj builds CSR (with SrcOf) from per-vertex adjacency lists.
+func fromAdj(adj [][]uint64, weighted bool, rng *rand.Rand) *Graph {
+	n := len(adj)
+	g := &Graph{N: n, Offsets: make([]uint64, n+1)}
+	m := 0
+	for _, l := range adj {
+		m += len(l)
+	}
+	g.Edges = make([]uint64, 0, m)
+	g.SrcOf = make([]uint64, 0, m)
+	if weighted {
+		g.Weights = make([]uint64, 0, m)
+	}
+	for v, l := range adj {
+		g.Offsets[v] = uint64(len(g.Edges))
+		for _, e := range l {
+			g.Edges = append(g.Edges, e)
+			g.SrcOf = append(g.SrcOf, uint64(v))
+			if weighted {
+				g.Weights = append(g.Weights, uint64(1+rng.Intn(255)))
+			}
+		}
+	}
+	g.Offsets[n] = uint64(len(g.Edges))
+	return g
+}
+
+// Uniform generates an Erdős–Rényi-style graph: each vertex gets close to
+// avgDeg out-edges to uniformly random destinations.
+func Uniform(n, avgDeg int, weighted bool, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	adj := make([][]uint64, n)
+	for v := range adj {
+		deg := avgDeg/2 + rng.Intn(avgDeg+1)
+		l := make([]uint64, deg)
+		for i := range l {
+			l[i] = uint64(rng.Intn(n))
+		}
+		adj[v] = l
+	}
+	return fromAdj(adj, weighted, rng)
+}
+
+// PowerLaw generates a graph with a skewed (Zipf-like) degree distribution,
+// standing in for social-network SNAP inputs. skew in (0,1]: higher is more
+// skewed.
+func PowerLaw(n, avgDeg int, skew float64, weighted bool, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.0+skew, 1.0, uint64(4*avgDeg))
+	adj := make([][]uint64, n)
+	for v := range adj {
+		deg := int(zipf.Uint64()) + 1
+		l := make([]uint64, deg)
+		for i := range l {
+			// Preferential-attachment flavour: skew destinations
+			// toward low ids.
+			if rng.Intn(3) == 0 {
+				l[i] = uint64(rng.Intn(1 + n/16))
+			} else {
+				l[i] = uint64(rng.Intn(n))
+			}
+		}
+		adj[v] = l
+	}
+	return fromAdj(adj, weighted, rng)
+}
+
+// Grid generates a w×h 4-neighbour mesh, standing in for road networks:
+// low, regular degree and high diameter.
+func Grid(w, h int, weighted bool, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := w * h
+	adj := make([][]uint64, n)
+	id := func(x, y int) uint64 { return uint64(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var l []uint64
+			if x > 0 {
+				l = append(l, id(x-1, y))
+			}
+			if x < w-1 {
+				l = append(l, id(x+1, y))
+			}
+			if y > 0 {
+				l = append(l, id(x, y-1))
+			}
+			if y < h-1 {
+				l = append(l, id(x, y+1))
+			}
+			adj[id(x, y)] = l
+		}
+	}
+	return fromAdj(adj, weighted, rng)
+}
+
+// Ring generates a ring of n vertices where each vertex links to its k
+// successors, plus a few random chords; its index stream is almost
+// sequential, so hardware prefetching covers it well (a prefetch-hostile
+// case for software prefetching).
+func Ring(n, k int, chords int, weighted bool, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	adj := make([][]uint64, n)
+	for v := range adj {
+		l := make([]uint64, 0, k+1)
+		for i := 1; i <= k; i++ {
+			l = append(l, uint64((v+i)%n))
+		}
+		adj[v] = l
+	}
+	for c := 0; c < chords; c++ {
+		v := rng.Intn(n)
+		adj[v] = append(adj[v], uint64(rng.Intn(n)))
+	}
+	return fromAdj(adj, weighted, rng)
+}
+
+// Kind labels the generator used for a catalogue input.
+type Kind uint8
+
+// Generator kinds.
+const (
+	KindUniform Kind = iota
+	KindPowerLaw
+	KindGrid
+	KindRing
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindUniform:
+		return "uniform"
+	case KindPowerLaw:
+		return "powerlaw"
+	case KindGrid:
+		return "grid"
+	case KindRing:
+		return "ring"
+	}
+	return "unknown"
+}
+
+// Input is a named catalogue entry: a recipe for a deterministic graph.
+type Input struct {
+	// Name identifies the input, echoing the flavour of SNAP dataset it
+	// stands in for.
+	Name string
+	// Kind selects the generator.
+	Kind Kind
+	// N is the vertex count (for Grid, N = W*H).
+	N int
+	// Deg is the average degree parameter (K for Ring).
+	Deg int
+	// Skew is the power-law skew (PowerLaw only).
+	Skew float64
+	// Seed makes generation deterministic.
+	Seed int64
+	// Synthetic marks inputs drawn from the APT-GET synthetic set rather
+	// than the SNAP-like set (bc only runs on these, §4.2).
+	Synthetic bool
+}
+
+// Build generates the input's graph.
+func (in Input) Build(weighted bool) *Graph {
+	switch in.Kind {
+	case KindUniform:
+		return Uniform(in.N, in.Deg, weighted, in.Seed)
+	case KindPowerLaw:
+		return PowerLaw(in.N, in.Deg, in.Skew, weighted, in.Seed)
+	case KindGrid:
+		w := intSqrt(in.N)
+		return Grid(w, in.N/w, weighted, in.Seed)
+	case KindRing:
+		return Ring(in.N, in.Deg, in.N/64, weighted, in.Seed)
+	}
+	panic("graphs: unknown kind")
+}
+
+func intSqrt(n int) int {
+	r := 1
+	for r*r < n {
+		r++
+	}
+	return r
+}
+
+// Catalogue returns the named graph inputs used by the CRONO experiments.
+// The paper evaluates 71 SNAP inputs; we stand in a structurally diverse set
+// of 24 (documented as a substitution in DESIGN.md): sizes span inputs whose
+// indirect working sets fit in the LLC (prefetch-hostile) through several
+// times the LLC (prefetch-friendly), degrees span 2..32, and all four
+// structural families are represented.
+func Catalogue() []Input {
+	ins := []Input{
+		// Power-law social-network stand-ins.
+		{Name: "soc-alpha", Kind: KindPowerLaw, N: 196608, Deg: 8, Skew: 0.6, Seed: 11},
+		{Name: "soc-beta", Kind: KindPowerLaw, N: 262144, Deg: 6, Skew: 0.9, Seed: 12},
+		{Name: "soc-gamma", Kind: KindPowerLaw, N: 131072, Deg: 12, Skew: 0.4, Seed: 13},
+		{Name: "soc-delta", Kind: KindPowerLaw, N: 98304, Deg: 16, Skew: 0.7, Seed: 14},
+		{Name: "wiki-talk-like", Kind: KindPowerLaw, N: 327680, Deg: 4, Skew: 1.0, Seed: 15},
+		{Name: "cit-patents-like", Kind: KindPowerLaw, N: 229376, Deg: 10, Skew: 0.5, Seed: 16},
+		// Uniform random stand-ins (AS-level topologies, email graphs).
+		{Name: "as-skitter-like", Kind: KindUniform, N: 196608, Deg: 10, Seed: 21},
+		{Name: "email-euall-like", Kind: KindUniform, N: 131072, Deg: 6, Seed: 22},
+		{Name: "gowalla-like", Kind: KindUniform, N: 98304, Deg: 24, Seed: 23},
+		{Name: "brightkite-like", Kind: KindUniform, N: 65536, Deg: 4, Seed: 24},
+		{Name: "amazon-like", Kind: KindUniform, N: 262144, Deg: 5, Seed: 25},
+		{Name: "ro-edges-like", Kind: KindUniform, N: 393216, Deg: 3, Seed: 26},
+		// Road-network / mesh stand-ins.
+		{Name: "roadnet-pa-like", Kind: KindGrid, N: 262144, Deg: 4, Seed: 31},
+		{Name: "roadnet-tx-like", Kind: KindGrid, N: 147456, Deg: 4, Seed: 32},
+		{Name: "roadnet-ca-like", Kind: KindGrid, N: 331776, Deg: 4, Seed: 33},
+		// Sequential-friendly rings (hardware prefetcher territory).
+		{Name: "ring-small", Kind: KindRing, N: 49152, Deg: 8, Seed: 41},
+		{Name: "ring-large", Kind: KindRing, N: 262144, Deg: 6, Seed: 42},
+		// LLC-resident inputs where prefetching mostly adds overhead.
+		{Name: "p2p-gnutella-like", Kind: KindUniform, N: 16384, Deg: 8, Seed: 51},
+		{Name: "ca-hepph-like", Kind: KindPowerLaw, N: 12288, Deg: 16, Skew: 0.5, Seed: 52},
+		{Name: "as20000102-like", Kind: KindUniform, N: 8192, Deg: 4, Seed: 53},
+		{Name: "oregon-like", Kind: KindUniform, N: 24576, Deg: 6, Seed: 54},
+		{Name: "bitcoinalpha-like", Kind: KindPowerLaw, N: 20480, Deg: 10, Skew: 0.8, Seed: 55},
+		// Borderline working sets (microarchitecture-dependent behaviour:
+		// they fit Cascade Lake's LLC but not Haswell's).
+		{Name: "border-a", Kind: KindUniform, N: 24576, Deg: 8, Seed: 61},
+		{Name: "border-b", Kind: KindPowerLaw, N: 28672, Deg: 8, Skew: 0.6, Seed: 62},
+	}
+	sort.Slice(ins, func(i, j int) bool { return ins[i].Name < ins[j].Name })
+	return ins
+}
+
+// SyntheticCatalogue returns the APT-GET-style synthetic inputs, the only
+// ones bc runs on (§4.2).
+func SyntheticCatalogue() []Input {
+	return []Input{
+		{Name: "synth-u1", Kind: KindUniform, N: 131072, Deg: 8, Seed: 71, Synthetic: true},
+		{Name: "synth-u2", Kind: KindUniform, N: 196608, Deg: 12, Seed: 72, Synthetic: true},
+		{Name: "synth-p1", Kind: KindPowerLaw, N: 163840, Deg: 8, Skew: 0.6, Seed: 73, Synthetic: true},
+		{Name: "synth-p2", Kind: KindPowerLaw, N: 98304, Deg: 16, Skew: 0.8, Seed: 74, Synthetic: true},
+		{Name: "synth-g1", Kind: KindGrid, N: 147456, Deg: 4, Seed: 75, Synthetic: true},
+		{Name: "synth-small", Kind: KindUniform, N: 12288, Deg: 8, Seed: 76, Synthetic: true},
+	}
+}
+
+// FindInput looks up a catalogue input by name across both catalogues.
+func FindInput(name string) (Input, bool) {
+	for _, in := range Catalogue() {
+		if in.Name == name {
+			return in, true
+		}
+	}
+	for _, in := range SyntheticCatalogue() {
+		if in.Name == name {
+			return in, true
+		}
+	}
+	return Input{}, false
+}

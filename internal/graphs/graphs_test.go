@@ -1,0 +1,201 @@
+package graphs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeneratorsProduceValidCSR(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+	}{
+		{"uniform", Uniform(500, 6, false, 1)},
+		{"uniform-weighted", Uniform(300, 4, true, 2)},
+		{"powerlaw", PowerLaw(500, 8, 0.7, false, 3)},
+		{"grid", Grid(20, 25, false, 4)},
+		{"ring", Ring(400, 3, 10, true, 5)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.g.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if tc.g.M() == 0 {
+				t.Fatal("no edges generated")
+			}
+			if tc.g.AvgDegree() <= 0 {
+				t.Fatal("zero average degree")
+			}
+		})
+	}
+}
+
+func TestGenerationIsDeterministic(t *testing.T) {
+	a := PowerLaw(200, 6, 0.5, true, 42)
+	b := PowerLaw(200, 6, 0.5, true, 42)
+	if a.M() != b.M() {
+		t.Fatal("same seed produced different edge counts")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] || a.Weights[i] != b.Weights[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+	c := PowerLaw(200, 6, 0.5, true, 43)
+	same := c.M() == a.M()
+	if same {
+		for i := range a.Edges {
+			if a.Edges[i] != c.Edges[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestSrcOfMatchesOffsets(t *testing.T) {
+	g := Uniform(300, 5, false, 9)
+	for v := 0; v < g.N; v++ {
+		for e := g.Offsets[v]; e < g.Offsets[v+1]; e++ {
+			if g.SrcOf[e] != uint64(v) {
+				t.Fatalf("SrcOf[%d] = %d, want %d", e, g.SrcOf[e], v)
+			}
+		}
+	}
+}
+
+func TestGridStructure(t *testing.T) {
+	g := Grid(4, 4, false, 1)
+	if g.N != 16 {
+		t.Fatalf("N = %d", g.N)
+	}
+	// Corner vertex 0 has exactly 2 neighbours; interior vertex 5 has 4.
+	if d := g.Offsets[1] - g.Offsets[0]; d != 2 {
+		t.Fatalf("corner degree = %d", d)
+	}
+	if d := g.Offsets[6] - g.Offsets[5]; d != 4 {
+		t.Fatalf("interior degree = %d", d)
+	}
+}
+
+func TestRingIsNearSequential(t *testing.T) {
+	g := Ring(100, 2, 0, false, 1)
+	// Every vertex links to its immediate successors.
+	for v := 0; v < g.N; v++ {
+		if g.Edges[g.Offsets[v]] != uint64((v+1)%g.N) {
+			t.Fatalf("vertex %d first edge = %d", v, g.Edges[g.Offsets[v]])
+		}
+	}
+}
+
+func TestCatalogueEntriesResolveAndBuild(t *testing.T) {
+	cat := Catalogue()
+	if len(cat) < 20 {
+		t.Fatalf("catalogue has %d inputs; the reproduction documents ~24", len(cat))
+	}
+	seen := map[string]bool{}
+	for _, in := range cat {
+		if seen[in.Name] {
+			t.Fatalf("duplicate input name %q", in.Name)
+		}
+		seen[in.Name] = true
+		got, ok := FindInput(in.Name)
+		if !ok || got.Name != in.Name {
+			t.Fatalf("FindInput(%q) failed", in.Name)
+		}
+	}
+	for _, in := range SyntheticCatalogue() {
+		if !in.Synthetic {
+			t.Fatalf("synthetic input %q not flagged", in.Name)
+		}
+		if _, ok := FindInput(in.Name); !ok {
+			t.Fatalf("FindInput(%q) failed", in.Name)
+		}
+	}
+	if _, ok := FindInput("definitely-not-real"); ok {
+		t.Fatal("FindInput should reject unknown names")
+	}
+}
+
+// TestCatalogueSizesSpanTheLLC checks the property the evaluation depends
+// on: the catalogue must include inputs well below and well above the
+// simulated LLC capacities (32768 words on Cascade Lake, 16384 on Haswell).
+func TestCatalogueSizesSpanTheLLC(t *testing.T) {
+	small, border, large := 0, 0, 0
+	for _, in := range Catalogue() {
+		switch {
+		case in.N <= 16384:
+			small++
+		case in.N <= 32768:
+			border++
+		default:
+			large++
+		}
+	}
+	if small == 0 || border == 0 || large == 0 {
+		t.Fatalf("catalogue lacks size diversity: %d small, %d border, %d large", small, border, large)
+	}
+}
+
+func TestBuildSmallInputs(t *testing.T) {
+	// Build the smaller catalogue entries end to end (the big ones are
+	// exercised by the workload tests).
+	for _, in := range Catalogue() {
+		if in.N > 32768 {
+			continue
+		}
+		g := in.Build(true)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", in.Name, err)
+		}
+		if g.N != in.N {
+			t.Fatalf("%s: N = %d, want %d", in.Name, g.N, in.N)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := Uniform(50, 4, true, 1)
+	bad := *g
+	bad.Edges = append([]uint64(nil), g.Edges...)
+	bad.Edges[0] = uint64(g.N + 5)
+	if bad.Validate() == nil {
+		t.Fatal("out-of-range edge not caught")
+	}
+	bad2 := *g
+	bad2.Offsets = append([]uint64(nil), g.Offsets...)
+	bad2.Offsets[1] = bad2.Offsets[2] + 1
+	if bad2.Validate() == nil {
+		t.Fatal("non-monotone offsets not caught")
+	}
+	bad3 := *g
+	bad3.Weights = bad3.Weights[:1]
+	if bad3.Validate() == nil {
+		t.Fatal("weight length mismatch not caught")
+	}
+}
+
+// Property: every generator keeps edge targets within [0, N).
+func TestEdgeRangeProperty(t *testing.T) {
+	f := func(seed int64, rawN, rawDeg uint8) bool {
+		n := 50 + int(rawN)
+		deg := 1 + int(rawDeg)%8
+		g := Uniform(n, deg, false, seed)
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{KindUniform, KindPowerLaw, KindGrid, KindRing} {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+}

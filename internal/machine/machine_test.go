@@ -1,0 +1,92 @@
+package machine
+
+import (
+	"testing"
+
+	"rpg2/internal/isa"
+)
+
+func TestBothMachinesConstruct(t *testing.T) {
+	for _, m := range Both() {
+		// Cache geometry must be constructible (power-of-two sets etc.).
+		h := m.NewHierarchy()
+		if h == nil {
+			t.Fatalf("%s: nil hierarchy", m.Name)
+		}
+		if m.Hz <= 0 || m.PEBSPeriod == 0 || m.BOLTCycles == 0 {
+			t.Fatalf("%s: incomplete config %+v", m.Name, m)
+		}
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	m := CascadeLake()
+	if got := m.Seconds(2.0); got != 2_000_000 {
+		t.Fatalf("Seconds(2) = %d", got)
+	}
+	if got := m.ToSeconds(500_000); got != 0.5 {
+		t.Fatalf("ToSeconds = %f", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"cascadelake", "haswell"} {
+		m, ok := ByName(name)
+		if !ok || m.Name != name {
+			t.Fatalf("ByName(%q) = %v, %v", name, m.Name, ok)
+		}
+	}
+	if _, ok := ByName("skylake"); ok {
+		t.Fatal("unknown machine resolved")
+	}
+}
+
+// TestMachineContrasts pins the relationships the evaluation depends on:
+// Haswell has smaller caches, higher memory latency, and less bandwidth.
+func TestMachineContrasts(t *testing.T) {
+	cl, hw := CascadeLake(), Haswell()
+	if hw.Cache.L3.Lines >= cl.Cache.L3.Lines {
+		t.Fatal("Haswell LLC must be smaller")
+	}
+	if hw.Cache.L2.Lines >= cl.Cache.L2.Lines {
+		t.Fatal("Haswell L2 must be smaller")
+	}
+	if hw.Cache.DRAM.Latency <= cl.Cache.DRAM.Latency {
+		t.Fatal("Haswell memory latency must be higher")
+	}
+	if hw.Cache.DRAM.ServiceCycles <= cl.Cache.DRAM.ServiceCycles {
+		t.Fatal("Haswell bandwidth must be lower")
+	}
+	// The paper's PEBS rates: Haswell samples at a higher frequency, so
+	// its period is shorter.
+	if hw.PEBSPeriod >= cl.PEBSPeriod {
+		t.Fatal("Haswell PEBS period must be shorter")
+	}
+}
+
+func TestLaunchViaMachine(t *testing.T) {
+	m := CascadeLake()
+	// A trivial binary: the machine launch path wires hierarchy and cost
+	// model together.
+	bin := trivialBinary(t)
+	p, err := m.Launch(bin, nil)
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	p.Run(100)
+	if p.Counters().Instructions == 0 {
+		t.Fatal("no execution")
+	}
+}
+
+// trivialBinary assembles a two-instruction program.
+func trivialBinary(t *testing.T) *isa.Binary {
+	t.Helper()
+	a := isa.NewAsm("main")
+	a.MovImm(0, 1).Halt()
+	bin, err := isa.NewProgram("main").Add(a).Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}

@@ -1,0 +1,110 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocLeavesGuardGaps(t *testing.T) {
+	as := NewAddrSpace()
+	a := as.Alloc("a", 100)
+	b := as.Alloc("b", 50)
+	if a.Base == 0 {
+		t.Fatal("address 0 must never be mapped")
+	}
+	if b.Base < a.End()+GuardGap {
+		t.Fatalf("no guard gap: a ends at %d, b starts at %d", a.End(), b.Base)
+	}
+	// The gap faults.
+	if _, ok := as.Read(a.End() + 1); ok {
+		t.Fatal("guard gap readable")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	as := NewAddrSpace()
+	s := as.Alloc("s", 16)
+	for i := Addr(0); i < 16; i++ {
+		if !as.Write(s.Base+i, uint64(i*i)) {
+			t.Fatalf("write %d failed", i)
+		}
+	}
+	for i := Addr(0); i < 16; i++ {
+		v, ok := as.Read(s.Base + i)
+		if !ok || v != uint64(i*i) {
+			t.Fatalf("read %d = %d, %v", i, v, ok)
+		}
+	}
+}
+
+func TestMapSharesBacking(t *testing.T) {
+	as := NewAddrSpace()
+	data := []uint64{1, 2, 3}
+	s := as.Map("d", data)
+	data[1] = 99
+	if v, _ := as.Read(s.Base + 1); v != 99 {
+		t.Fatal("Map must share the backing slice")
+	}
+	as.Write(s.Base+2, 7)
+	if data[2] != 7 {
+		t.Fatal("writes must reach the backing slice")
+	}
+}
+
+func TestMapAtRejectsOverlap(t *testing.T) {
+	as := NewAddrSpace()
+	if _, err := as.MapAt("x", 1000, make([]uint64, 100)); err != nil {
+		t.Fatalf("MapAt: %v", err)
+	}
+	if _, err := as.MapAt("y", 1050, make([]uint64, 10)); err == nil {
+		t.Fatal("overlap not rejected")
+	}
+	if _, err := as.MapAt("z", 1100, make([]uint64, 10)); err != nil {
+		t.Fatalf("adjacent non-overlapping map rejected: %v", err)
+	}
+}
+
+func TestSegmentLookup(t *testing.T) {
+	as := NewAddrSpace()
+	as.Alloc("first", 10)
+	s2 := as.Alloc("second", 10)
+	if got := as.Segment("second"); got != s2 {
+		t.Fatal("Segment by name failed")
+	}
+	if as.Segment("nope") != nil {
+		t.Fatal("missing segment should be nil")
+	}
+	if got := as.Lookup(s2.Base + 5); got != s2 {
+		t.Fatal("Lookup failed")
+	}
+	if as.Lookup(0) != nil {
+		t.Fatal("address 0 must be unmapped")
+	}
+	if len(as.Segments()) != 2 {
+		t.Fatalf("Segments() = %d, want 2", len(as.Segments()))
+	}
+}
+
+func TestFaultError(t *testing.T) {
+	f := &Fault{Addr: 0x40, Write: true}
+	if f.Error() == "" || (&Fault{Addr: 1}).Error() == "" {
+		t.Fatal("fault errors must describe themselves")
+	}
+}
+
+// Property: any address inside a mapped segment reads successfully, any
+// address in the guard gap after it faults.
+func TestMappedBoundaryProperty(t *testing.T) {
+	as := NewAddrSpace()
+	seg := as.Alloc("p", 977)
+	f := func(off uint32) bool {
+		inside := seg.Base + Addr(off)%Addr(len(seg.Data))
+		outside := seg.End() + Addr(off)%GuardGap
+		_, okIn := as.Read(inside)
+		_, okOut := as.Read(outside)
+		return okIn && !okOut
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

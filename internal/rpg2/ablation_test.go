@@ -1,0 +1,146 @@
+package rpg2_test
+
+import (
+	"testing"
+
+	"rpg2/internal/machine"
+	"rpg2/internal/rpg2"
+	"rpg2/internal/workloads"
+)
+
+func TestLinearSearchAblationStillTunes(t *testing.T) {
+	m := machine.CascadeLake()
+	r, _ := optimize(t, "pr", "soc-alpha", m, rpg2.Config{Seed: 5, LinearSearch: true})
+	if r.Outcome != rpg2.Tuned {
+		t.Fatalf("linear search outcome %v", r.Outcome)
+	}
+	// The linear scan probes every 7th distance across [1,100]: far more
+	// edits than the three-stage search's ~10.
+	if r.Costs.PDEdits < 12 {
+		t.Fatalf("linear scan explored only %d distances", r.Costs.PDEdits)
+	}
+}
+
+func TestMPKIMetricAblationFindsNoSignal(t *testing.T) {
+	// The paper found tuning on MPKI unusable: distances have little
+	// effect on MPKI even when they strongly affect performance (§4.4).
+	// Under this ablation the chosen distance is essentially arbitrary,
+	// but the machinery must still run to completion without rollback.
+	m := machine.CascadeLake()
+	r, p := optimize(t, "pr", "soc-alpha", m, rpg2.Config{Seed: 6, UseMPKIMetric: true})
+	if r.Outcome != rpg2.Tuned {
+		t.Fatalf("MPKI ablation outcome %v", r.Outcome)
+	}
+	p.Run(m.Seconds(1))
+	if got := p.State().String(); got == "crashed" {
+		t.Fatal("MPKI ablation crashed the target")
+	}
+}
+
+func TestRawIPCMetricNeverRollsBackOverheadCases(t *testing.T) {
+	// On the lean ISA, raw IPC rewards the kernel's extra instructions,
+	// so an overhead-bound case that the default metric rolls back is
+	// kept under the raw-IPC ablation — the bias the paper itself hit on
+	// sssp/as20000102 (§4.2).
+	m := machine.CascadeLake()
+	def, _ := optimize(t, "pr", "as20000102-like", m,
+		rpg2.Config{Seed: 7, MinSamples: 10})
+	raw, _ := optimize(t, "pr", "as20000102-like", m,
+		rpg2.Config{Seed: 7, MinSamples: 10, RawIPCMetric: true})
+	t.Logf("default=%v rawIPC=%v", def.Outcome, raw.Outcome)
+	if def.Outcome != rpg2.RolledBack {
+		t.Fatalf("default metric should roll back the LLC-resident input, got %v", def.Outcome)
+	}
+	if raw.Outcome != rpg2.Tuned {
+		t.Fatalf("raw-IPC metric should be fooled into keeping it, got %v", raw.Outcome)
+	}
+}
+
+func TestDisableRollbackKeepsHarmfulPrefetch(t *testing.T) {
+	m := machine.CascadeLake()
+	r, p := optimize(t, "pr", "as20000102-like", m,
+		rpg2.Config{Seed: 8, MinSamples: 10, DisableRollback: true})
+	if r.Outcome != rpg2.Tuned {
+		t.Fatalf("rollback disabled must keep the code, got %v", r.Outcome)
+	}
+	// The injected function is still live.
+	f1, ok := p.Func("kernel.bolt")
+	if !ok {
+		t.Fatal("f1 missing")
+	}
+	p.Run(m.Seconds(1))
+	pc := p.MainThread().Thread.PC
+	if fn, _ := p.FuncAt(pc); fn.Name != f1.Name && fn.Name != "main" {
+		t.Fatalf("execution in %q, expected the injected function", fn.Name)
+	}
+}
+
+func TestTargetExitedDuringProfiling(t *testing.T) {
+	m := machine.CascadeLake()
+	// A workload with so few repeats it halts during the profiling phase.
+	w, err := workloads.Build("pr", "as20000102-like", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Launch(w.Bin, w.Setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Profile longer than the target's remaining lifetime (~2.5 simulated
+	// seconds) so it halts inside the profiling phase.
+	ctl := rpg2.New(m, rpg2.Config{Seed: 9, ProfileSeconds: 6})
+	r, err := ctl.Optimize(p)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if r.Outcome != rpg2.TargetExited {
+		t.Fatalf("outcome %v, want target-exited", r.Outcome)
+	}
+}
+
+func TestProfilingDurationAffectsSamples(t *testing.T) {
+	m := machine.CascadeLake()
+	short, _ := optimize(t, "pr", "soc-alpha", m, rpg2.Config{Seed: 10, ProfileSeconds: 0.5})
+	long, _ := optimize(t, "pr", "soc-alpha", m, rpg2.Config{Seed: 10, ProfileSeconds: 4})
+	if long.Samples <= short.Samples {
+		t.Fatalf("longer profiling gathered fewer samples: %d vs %d", long.Samples, short.Samples)
+	}
+}
+
+func TestReportTimelineIsOrderedAndPhased(t *testing.T) {
+	m := machine.CascadeLake()
+	r, _ := optimize(t, "pr", "soc-alpha", m, rpg2.Config{Seed: 11})
+	if len(r.Timeline) < 5 {
+		t.Fatalf("timeline has %d points", len(r.Timeline))
+	}
+	phases := map[string]bool{}
+	last := -1.0
+	for _, pt := range r.Timeline {
+		if pt.Seconds < last {
+			t.Fatal("timeline not monotone")
+		}
+		last = pt.Seconds
+		phases[pt.Phase] = true
+	}
+	for _, want := range []string{"profile", "insert", "tune"} {
+		if !phases[want] {
+			t.Errorf("timeline missing phase %q (have %v)", want, phases)
+		}
+	}
+}
+
+func TestExploredDistancesWithinBounds(t *testing.T) {
+	m := machine.Haswell()
+	r, _ := optimize(t, "is", "", m, rpg2.Config{Seed: 12})
+	if len(r.Explored) == 0 {
+		t.Fatal("nothing explored")
+	}
+	for d := range r.Explored {
+		if d < 1 || d > 200 {
+			t.Fatalf("explored distance %d outside [1,200]", d)
+		}
+	}
+	if r.InitialDistance < 1 || r.InitialDistance > 100 {
+		t.Fatalf("initial distance %d outside [1,100]", r.InitialDistance)
+	}
+}

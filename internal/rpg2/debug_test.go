@@ -1,0 +1,67 @@
+package rpg2_test
+
+import (
+	"testing"
+
+	"rpg2/internal/bolt"
+	"rpg2/internal/machine"
+	"rpg2/internal/workloads"
+)
+
+// TestOfflineSweepShape is a regression for the core performance model: the
+// statically prefetched pr binary must trace the paper's characteristic
+// distance curve — late (partial) benefit at tiny distances, a strong
+// optimum in the low tens, and decay at large distances as L1 churn evicts
+// prefetched lines before use.
+func TestOfflineSweepShape(t *testing.T) {
+	m := machine.CascadeLake()
+	w, err := workloads.Build("pr", "soc-alpha", 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	measure := func(d int) (float64, uint64) {
+		bin := w.Bin
+		if d > 0 {
+			rw, err := bolt.InjectPrefetch(w.Bin, workloads.KernelFunc, []int{w.WorkPC}, d)
+			if err != nil {
+				t.Fatalf("InjectPrefetch(d=%d): %v", d, err)
+			}
+			nb, err := rw.Apply(w.Bin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bin = nb
+		}
+		p, err := m.Launch(bin, w.Setup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Run(2_000_000)
+		c := p.Counters()
+		stats := p.Threads()[0].Core.Hierarchy().Stats()
+		return float64(c.Instructions) / float64(c.Cycles), stats.LLCMisses
+	}
+
+	_, baseMisses := measure(0)
+	_, lateMisses := measure(2)
+	ipc10, warmMisses := measure(10)
+	ipc200, _ := measure(200)
+
+	if baseMisses < 10_000 {
+		t.Fatalf("baseline misses %d: input not miss-heavy", baseMisses)
+	}
+	// A well-timed distance eliminates nearly all LLC misses.
+	if warmMisses > baseMisses/20 {
+		t.Fatalf("d=10 left %d of %d misses", warmMisses, baseMisses)
+	}
+	// A too-small distance converts misses into residual (late) waits: the
+	// LLC-miss count stays high even though each costs less.
+	if lateMisses < baseMisses/2 {
+		t.Fatalf("d=2 should stay mostly late (misses %d of %d)", lateMisses, baseMisses)
+	}
+	// A too-large distance loses part of the benefit to churn.
+	if ipc200 >= ipc10 {
+		t.Fatalf("d=200 (%f) should underperform d=10 (%f)", ipc200, ipc10)
+	}
+}

@@ -1,0 +1,223 @@
+package rpg2
+
+import (
+	"fmt"
+
+	"rpg2/internal/bolt"
+	"rpg2/internal/isa"
+	"rpg2/internal/proc"
+)
+
+// insertion records everything needed to tune and, if necessary, undo an
+// injected optimization: where f1 lives, the BAT, patched call sites, and
+// the distance patch points.
+type insertion struct {
+	rw      *bolt.Rewrite
+	f0      isa.Function
+	f1Entry int
+	f1Name  string
+	// callSites are text PCs whose Call target was moved from f0 to f1.
+	callSites []int
+	stolen    uint64 // stop-the-world cycles spent inserting
+}
+
+// snapshotBinary reconstructs a Binary view of the process's current code,
+// which is what BOLT lifts (RPG² operates on the program binary that
+// launched the process, §1 — the process text is identical until we edit it).
+func (c *Controller) snapshotBinary(p *proc.Process) *isa.Binary {
+	return &isa.Binary{
+		Text:      append([]isa.Instr(nil), p.Text...),
+		Funcs:     append([]isa.Function(nil), p.Funcs...),
+		EntryName: "main",
+	}
+}
+
+// insertCode performs phase 3 (§3.3): pause the target, inject f1 through
+// the libpg2 agent, patch direct call sites from f0 to f1, and translate
+// every thread PC (and any f0 return address on thread stacks) through the
+// BAT — on-stack replacement for an unmanaged program.
+func insertCode(tr *proc.Tracer, agent *proc.LibPG2, rw *bolt.Rewrite) (*insertion, error) {
+	p := tr.Process()
+	f0, ok := p.Func(rw.FuncName)
+	if !ok {
+		return nil, fmt.Errorf("target lost function %q", rw.FuncName)
+	}
+	stolen0 := p.StolenCycles()
+	tr.Stop()
+
+	// The agent copies the new code into fresh pages inside the address
+	// space; f0 is left intact at its original location so rollback and
+	// exotic code pointers keep working (§3.3).
+	base := agent.NextPC()
+	code := rw.Rebase(base)
+	f1Name := uniqueName(p, rw.NewName)
+	entry, err := agent.InjectCode(f1Name, code)
+	if err != nil {
+		return nil, err
+	}
+	if !tr.WaitSIGSTOP() {
+		return nil, fmt.Errorf("libpg2 did not signal injection completion")
+	}
+	ins := &insertion{rw: rw, f0: f0, f1Entry: entry, f1Name: f1Name}
+
+	// Patch direct calls to f0 (future invocations run f1).
+	for pc := 0; pc < base; pc++ {
+		in, err := tr.PeekText(pc)
+		if err != nil {
+			return nil, err
+		}
+		if in.Op == isa.Call && in.Target == f0.Entry {
+			in.Target = entry
+			if err := tr.PokeText(pc, in); err != nil {
+				return nil, err
+			}
+			ins.callSites = append(ins.callSites, pc)
+		}
+	}
+
+	// On-stack replacement: move any thread currently executing f0 to
+	// the corresponding f1 PC via the BAT (§3.3.1).
+	for _, tc := range p.Threads() {
+		regs, err := tr.GetRegs(tc.ID)
+		if err != nil {
+			return nil, err
+		}
+		changed := false
+		if f0.Contains(regs.PC) {
+			off, ok := rw.BAT.Translate(regs.PC)
+			if !ok {
+				return nil, fmt.Errorf("BAT has no entry for f0 pc %d", regs.PC)
+			}
+			regs.PC = entry + off
+			changed = true
+		}
+		if changed {
+			if err := tr.SetRegs(tc.ID, regs); err != nil {
+				return nil, err
+			}
+		}
+		// Return addresses into f0 on the thread's stack (f0 may be
+		// mid-call into a helper) are translated the same way.
+		if err := patchStack(tr, tc, f0, func(pc int) (int, bool) {
+			off, ok := rw.BAT.Translate(pc)
+			return entry + off, ok
+		}); err != nil {
+			return nil, err
+		}
+	}
+	tr.Resume()
+	ins.stolen = p.StolenCycles() - stolen0
+	return ins, nil
+}
+
+// patchStack rewrites stack words that are return addresses into the given
+// function, using translate to map them.
+func patchStack(tr *proc.Tracer, tc *proc.ThreadCtx, f isa.Function, translate func(int) (int, bool)) error {
+	p := tr.Process()
+	regs, err := tr.GetRegs(tc.ID)
+	if err != nil {
+		return err
+	}
+	sp := regs.Regs[isa.SP]
+	for a := sp; a < tc.Stack.End(); a++ {
+		v, ok := p.AS.Read(a)
+		if !ok {
+			break
+		}
+		pc := int(v)
+		if !f.Contains(pc) {
+			continue
+		}
+		npc, ok := translate(pc)
+		if !ok {
+			continue
+		}
+		p.AS.Write(a, uint64(npc))
+	}
+	return nil
+}
+
+// uniqueName avoids symbol collisions across repeated injections.
+func uniqueName(p *proc.Process, base string) string {
+	name := base
+	for i := 1; ; i++ {
+		if _, exists := p.Func(name); !exists {
+			return name
+		}
+		name = fmt.Sprintf("%s.%d", base, i)
+	}
+}
+
+// maxRollbackSteps bounds single-stepping out of a prefetch kernel; kernels
+// are a handful of instructions, so this is generous.
+const maxRollbackSteps = 256
+
+// rollback undoes an insertion (§3.4.1): call sites are restored, thread
+// PCs inside f1 are translated back to f0 through the BAT — single-stepping
+// threads whose PC sits inside a prefetch kernel, which has no BAT entry,
+// until they reach translatable code — and stack return addresses into f1
+// are restored. f1 stays in memory but becomes unreachable. It returns the
+// stop-the-world cycles spent.
+func rollback(tr *proc.Tracer, ins *insertion) (uint64, error) {
+	p := tr.Process()
+	stolen0 := p.StolenCycles()
+	tr.Stop()
+	defer tr.Resume()
+
+	for _, pc := range ins.callSites {
+		in, err := tr.PeekText(pc)
+		if err != nil {
+			return 0, err
+		}
+		if in.Op == isa.Call && in.Target == ins.f1Entry {
+			in.Target = ins.f0.Entry
+			if err := tr.PokeText(pc, in); err != nil {
+				return 0, err
+			}
+		}
+	}
+	f1, ok := p.Func(ins.f1Name)
+	if !ok {
+		return 0, fmt.Errorf("target lost injected function %q", ins.f1Name)
+	}
+	for _, tc := range p.Threads() {
+		regs, err := tr.GetRegs(tc.ID)
+		if err != nil {
+			return 0, err
+		}
+		if f1.Contains(regs.PC) {
+			steps := 0
+			for {
+				off := regs.PC - ins.f1Entry
+				if pc0, ok := ins.rw.BAT.TranslateBack(off); ok {
+					regs.PC = pc0
+					if err := tr.SetRegs(tc.ID, regs); err != nil {
+						return 0, err
+					}
+					break
+				}
+				// Inside a prefetch kernel: no BAT entry exists, so
+				// single-step until the PC reaches translated code.
+				if steps++; steps > maxRollbackSteps {
+					return 0, fmt.Errorf("thread %d stuck inside prefetch kernel", tc.ID)
+				}
+				if err := tr.SingleStep(tc.ID); err != nil {
+					return 0, err
+				}
+				regs, err = tr.GetRegs(tc.ID)
+				if err != nil {
+					return 0, err
+				}
+				if !f1.Contains(regs.PC) {
+					break // stepped out of f1 entirely (e.g. returned)
+				}
+			}
+		}
+		if err := patchStack(tr, tc, f1, func(pc int) (int, bool) {
+			return ins.rw.BAT.TranslateBack(pc - ins.f1Entry)
+		}); err != nil {
+			return 0, err
+		}
+	}
+	return p.StolenCycles() - stolen0, nil
+}

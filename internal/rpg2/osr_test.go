@@ -1,0 +1,243 @@
+package rpg2
+
+import (
+	"testing"
+
+	"rpg2/internal/bolt"
+	"rpg2/internal/isa"
+	"rpg2/internal/machine"
+	"rpg2/internal/mem"
+	"rpg2/internal/proc"
+)
+
+// hotLoopBinary builds main -> kernel with an a[f(b[j])] hot loop; main
+// calls the kernel repeatedly. Registers: r0=b r1=a r2=n r5=repeats.
+func hotLoopBinary(t *testing.T) *isa.Binary {
+	t.Helper()
+	mn := isa.NewAsm("main")
+	mn.MovImm(14, 0)
+	mn.Label("again")
+	mn.Call("kernel")
+	mn.AddImm(14, 14, 1)
+	mn.Br(isa.LT, 14, 5, "again")
+	mn.Halt()
+	k := isa.NewAsm("kernel")
+	k.MovImm(8, 0)
+	k.Label("loop")
+	k.LoadIdx(9, 0, 8, 0)
+	k.LoadIdx(10, 1, 9, 0)
+	k.Add(11, 11, 10)
+	k.AddImm(8, 8, 1)
+	k.Br(isa.LT, 8, 2, "loop")
+	k.Ret()
+	bin, err := isa.NewProgram("main").Add(mn).Add(k).Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+func hotLoopSetup(n int) func(*mem.AddrSpace, *[isa.NumRegs]uint64) {
+	return func(as *mem.AddrSpace, regs *[isa.NumRegs]uint64) {
+		b := make([]uint64, n)
+		a := make([]uint64, n)
+		for i := range b {
+			b[i] = uint64((i * 13) % n)
+		}
+		regs[0] = as.Map("b", b).Base
+		regs[1] = as.Map("a", a).Base
+		regs[2] = uint64(n)
+		regs[5] = 1 << 40 // effectively run forever
+	}
+}
+
+// prepareInsertion launches the hot loop, runs it into the kernel, and
+// performs phase 3.
+func prepareInsertion(t *testing.T) (*proc.Process, *proc.Tracer, *proc.LibPG2, *insertion, isa.Function) {
+	t.Helper()
+	m := machine.CascadeLake()
+	bin := hotLoopBinary(t)
+	p, err := m.Launch(bin, hotLoopSetup(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(50_000) // definitely inside the kernel's hot loop now
+	f0, _ := p.Func("kernel")
+	if pc := p.MainThread().Thread.PC; !f0.Contains(pc) {
+		t.Fatalf("thread not in kernel (pc=%d)", pc)
+	}
+	kf, _ := bin.Func("kernel")
+	rw, err := bolt.InjectPrefetch(bin, "kernel", []int{kf.Entry + 2}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := proc.Attach(p)
+	agent := proc.Preload(p)
+	ins, err := insertCode(tr, agent, rw)
+	if err != nil {
+		t.Fatalf("insertCode: %v", err)
+	}
+	return p, tr, agent, ins, f0
+}
+
+func TestInsertCodePerformsOSR(t *testing.T) {
+	p, tr, _, ins, f0 := prepareInsertion(t)
+	defer tr.Detach()
+	f1, ok := p.Func(ins.f1Name)
+	if !ok {
+		t.Fatal("f1 not injected")
+	}
+	// The running thread was moved into f1 mid-invocation.
+	if pc := p.MainThread().Thread.PC; !f1.Contains(pc) {
+		t.Fatalf("OSR did not move the thread (pc=%d, f1=[%d,%d))", pc, f1.Entry, f1.Entry+f1.Size)
+	}
+	// The call site in main was patched.
+	if len(ins.callSites) != 1 {
+		t.Fatalf("call sites patched: %d, want 1", len(ins.callSites))
+	}
+	if p.Text[ins.callSites[0]].Target != ins.f1Entry {
+		t.Fatal("call site does not target f1")
+	}
+	// f0 remains byte-for-byte intact.
+	for pc := f0.Entry; pc < f0.Entry+f0.Size; pc++ {
+		if p.Text[pc] != hotLoopBinary(t).Text[pc] {
+			t.Fatalf("f0 mutated at pc %d", pc)
+		}
+	}
+	// Execution continues correctly and issues prefetches.
+	before := p.Threads()[0].Core.Hierarchy().Stats().SWPrefetches
+	p.Run(100_000)
+	if p.State() == proc.Crashed {
+		t.Fatalf("crashed after OSR: %v", p.FaultedThread().Thread.Fault)
+	}
+	if p.Threads()[0].Core.Hierarchy().Stats().SWPrefetches == before {
+		t.Fatal("no software prefetches after injection")
+	}
+}
+
+func TestRollbackRestoresOriginal(t *testing.T) {
+	p, tr, _, ins, f0 := prepareInsertion(t)
+	defer tr.Detach()
+	p.Run(20_000)
+	if _, err := rollback(tr, ins); err != nil {
+		t.Fatalf("rollback: %v", err)
+	}
+	// Thread back in f0.
+	if pc := p.MainThread().Thread.PC; !f0.Contains(pc) {
+		t.Fatalf("thread not restored to f0 (pc=%d)", pc)
+	}
+	// Call site restored.
+	if p.Text[ins.callSites[0]].Target != f0.Entry {
+		t.Fatal("call site not restored")
+	}
+	// No further software prefetches execute.
+	stats0 := p.Threads()[0].Core.Hierarchy().Stats().SWPrefetches
+	p.Run(100_000)
+	if got := p.Threads()[0].Core.Hierarchy().Stats().SWPrefetches; got != stats0 {
+		t.Fatalf("prefetches still executing after rollback (%d new)", got-stats0)
+	}
+	if p.State() == proc.Crashed {
+		t.Fatal("crashed after rollback")
+	}
+}
+
+// TestRollbackSingleStepsOutOfKernel pins the §3.4.1 corner case: a thread
+// stopped inside the prefetch kernel has no BAT entry and must be
+// single-stepped until it reaches translatable code.
+func TestRollbackSingleStepsOutOfKernel(t *testing.T) {
+	p, tr, _, ins, f0 := prepareInsertion(t)
+	defer tr.Detach()
+	// Run until the thread naturally sits inside the injected kernel
+	// (which executes once per loop iteration, so this is quick).
+	site := ins.rw.Sites[0]
+	kLo := ins.f1Entry + site.KernelOffset
+	kHi := kLo + site.KernelLen
+	inside := false
+	for i := 0; i < 10_000; i++ {
+		p.Run(1)
+		if pc := p.MainThread().Thread.PC; pc > kLo && pc < kHi {
+			inside = true
+			break
+		}
+	}
+	if !inside {
+		t.Fatal("never observed the thread inside the kernel")
+	}
+	if _, err := rollback(tr, ins); err != nil {
+		t.Fatalf("rollback from inside kernel: %v", err)
+	}
+	pc := p.MainThread().Thread.PC
+	if !f0.Contains(pc) {
+		t.Fatalf("thread not back in f0 after single-step rollback (pc=%d)", pc)
+	}
+	p.Run(50_000)
+	if p.State() == proc.Crashed {
+		t.Fatalf("crashed after single-step rollback: %v", p.FaultedThread().Thread.Fault)
+	}
+	// The stack must be balanced: the kernel's push was completed by
+	// stepping through to the pop before translation.
+	if got, want := p.MainThread().Thread.Regs[isa.SP], p.MainThread().Stack.End()-1; got != want {
+		t.Fatalf("stack pointer %d, want %d (one return address)", got, want)
+	}
+}
+
+// TestOSRMovesEveryThread runs two threads in the hot function and checks
+// both get translated.
+func TestOSRMovesEveryThread(t *testing.T) {
+	m := machine.CascadeLake()
+	bin := hotLoopBinary(t)
+	p, err := m.Launch(bin, hotLoopSetup(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second thread runs its own driver loop (spawning straight into
+	// the kernel would eventually return on an empty stack).
+	regs := p.MainThread().Thread.Regs // copy argument registers
+	if _, err := p.SpawnThread("main", regs); err != nil {
+		t.Fatal(err)
+	}
+	p.Run(50_000)
+	kf, _ := bin.Func("kernel")
+	rw, err := bolt.InjectPrefetch(bin, "kernel", []int{kf.Entry + 2}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := proc.Attach(p)
+	defer tr.Detach()
+	ins, err := insertCode(tr, proc.Preload(p), rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, _ := p.Func(ins.f1Name)
+	for _, tc := range p.Threads() {
+		if !tc.Thread.Runnable() {
+			continue
+		}
+		if fn, _ := p.FuncAt(tc.Thread.PC); fn.Name != "main" && !f1.Contains(tc.Thread.PC) {
+			t.Fatalf("thread %d left behind at pc %d (%s)", tc.ID, tc.Thread.PC, fn.Name)
+		}
+	}
+	p.Run(50_000)
+	if p.State() == proc.Crashed {
+		t.Fatal("crashed after multithreaded OSR")
+	}
+}
+
+// TestSetDistanceRewritesLiveCode checks the tuning primitive end to end.
+func TestSetDistanceRewritesLiveCode(t *testing.T) {
+	p, tr, agent, ins, _ := prepareInsertion(t)
+	defer tr.Detach()
+	m := machine.CascadeLake()
+	c := New(m, Config{})
+	if err := c.setDistance(tr, agent, ins, 123); err != nil {
+		t.Fatal(err)
+	}
+	pp := ins.rw.PatchPoints[0]
+	if got := p.Text[ins.f1Entry+pp.Offset].Imm; got != 123 {
+		t.Fatalf("live immediate = %d, want 123", got)
+	}
+	p.Run(20_000)
+	if p.State() == proc.Crashed {
+		t.Fatal("crashed after distance edit")
+	}
+}

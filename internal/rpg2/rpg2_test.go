@@ -1,0 +1,132 @@
+package rpg2_test
+
+import (
+	"testing"
+
+	"rpg2/internal/isa"
+	"rpg2/internal/machine"
+	"rpg2/internal/proc"
+	"rpg2/internal/rpg2"
+	"rpg2/internal/workloads"
+)
+
+// optimize launches a workload, runs RPG² against it, and returns the
+// report plus the still-running process.
+func optimize(t *testing.T, bench, input string, m machine.Machine, cfg rpg2.Config) (*rpg2.Report, *proc.Process) {
+	t.Helper()
+	w, err := workloads.Build(bench, input, 1<<30)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	p, err := m.Launch(w.Bin, w.Setup)
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	ctl := rpg2.New(m, cfg)
+	r, err := ctl.Optimize(p)
+	if err != nil {
+		t.Fatalf("Optimize: %v (outcome %v)", err, r.Outcome)
+	}
+	return r, p
+}
+
+func TestOptimizePRTunes(t *testing.T) {
+	m := machine.CascadeLake()
+	r, p := optimize(t, "pr", "soc-alpha", m, rpg2.Config{Seed: 1})
+	t.Logf("outcome=%v baselineIPC=%.3f bestIPC=%.3f d=%d edits=%d samples=%d",
+		r.Outcome, r.BaselineIPC, r.BestIPC, r.FinalDistance, r.Costs.PDEdits, r.Samples)
+	if r.Outcome != rpg2.Tuned {
+		t.Fatalf("expected Tuned on a miss-heavy input, got %v", r.Outcome)
+	}
+	if r.BestIPC <= r.BaselineIPC {
+		t.Fatalf("tuned IPC %.3f did not beat baseline %.3f", r.BestIPC, r.BaselineIPC)
+	}
+	if r.FinalDistance < 1 || r.FinalDistance > 200 {
+		t.Fatalf("distance %d outside [1,200]", r.FinalDistance)
+	}
+	if len(r.Sites) != 1 {
+		t.Fatalf("pr should have 1 prefetch site, got %d", len(r.Sites))
+	}
+	// After detach the process keeps running the optimized code.
+	p.Run(m.Seconds(2))
+	if got := p.State(); got != proc.Running && got != proc.Exited {
+		t.Fatalf("process state after detach: %v", got)
+	}
+	// Verify the installed distance is actually encoded in live code.
+	f1, ok := p.Func("kernel.bolt")
+	if !ok {
+		t.Fatal("injected function not in symbol table")
+	}
+	found := false
+	for pc := f1.Entry; pc < f1.Entry+f1.Size; pc++ {
+		in := p.Text[pc]
+		if in.Op == isa.AddImm && in.Imm == int64(r.FinalDistance) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no AddImm with distance %d found in injected code", r.FinalDistance)
+	}
+}
+
+func TestOptimizeSmallInputDoesNotHurt(t *testing.T) {
+	m := machine.CascadeLake()
+	r, p := optimize(t, "pr", "as20000102-like", m, rpg2.Config{Seed: 2})
+	t.Logf("small input: outcome=%v samples=%d baseline=%.3f best=%.3f",
+		r.Outcome, r.Samples, r.BaselineIPC, r.BestIPC)
+	// An LLC-resident input must either fail activation (too few misses)
+	// or be rolled back; RPG² must not leave harmful prefetching in.
+	if r.Outcome == rpg2.Tuned && r.BestIPC < r.BaselineIPC {
+		t.Fatalf("kept a harmful configuration: %v", r.Outcome)
+	}
+	if r.Outcome == rpg2.RolledBack {
+		// After rollback every thread must be executing f0 again.
+		for _, tc := range p.Threads() {
+			if f, ok := p.FuncAt(tc.Thread.PC); ok && f.Name != "main" && f.Name != "kernel" {
+				t.Fatalf("thread %d still in %q after rollback", tc.ID, f.Name)
+			}
+		}
+		p.Run(m.Seconds(1))
+		if p.State() == proc.Crashed {
+			t.Fatal("process crashed after rollback")
+		}
+	}
+}
+
+func TestOptimizeSSSPFindsTwoSites(t *testing.T) {
+	m := machine.CascadeLake()
+	r, _ := optimize(t, "sssp", "as-skitter-like", m, rpg2.Config{Seed: 3})
+	t.Logf("sssp: outcome=%v sites=%d d=%d", r.Outcome, len(r.Sites), r.FinalDistance)
+	if r.Outcome != rpg2.Tuned && r.Outcome != rpg2.RolledBack {
+		t.Fatalf("sssp did not activate: %v", r.Outcome)
+	}
+	if len(r.Sites) != 2 {
+		t.Fatalf("sssp should expose 2 prefetch sites, got %d", len(r.Sites))
+	}
+}
+
+func TestOptimizeNeverCrashesTarget(t *testing.T) {
+	m := machine.Haswell()
+	for _, bench := range []string{"pr", "sssp", "bc", "is", "cg", "randacc", "bfs"} {
+		input := ""
+		switch bench {
+		case "pr":
+			input = "gowalla-like"
+		case "sssp":
+			input = "soc-beta"
+		case "bfs":
+			input = "brightkite-like"
+		case "bc":
+			input = "synth-p1"
+		}
+		t.Run(bench, func(t *testing.T) {
+			r, p := optimize(t, bench, input, m, rpg2.Config{Seed: 4})
+			p.Run(m.Seconds(3))
+			if p.State() == proc.Crashed {
+				ft := p.FaultedThread()
+				t.Fatalf("%s crashed after %v: %v at pc %d", bench, r.Outcome, ft.Thread.Fault, ft.Thread.PC)
+			}
+			t.Logf("%s: %v (baseline %.3f, best %.3f, d=%d)", bench, r.Outcome, r.BaselineIPC, r.BestIPC, r.FinalDistance)
+		})
+	}
+}

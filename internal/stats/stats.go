@@ -1,0 +1,226 @@
+// Package stats provides the aggregate statistics and the prefetch-distance
+// sensitivity classifier used by the experiment harness: means and standard
+// deviations for the figure bars, histograms for Figures 8 and 12, and the
+// eight-way curve classification of the paper's Table 3 (§4.5).
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Histogram buckets values by the given bin edges: counts[i] holds values in
+// [edges[i], edges[i+1]); the final bucket counts values >= edges[len-1].
+func Histogram(values []float64, edges []float64) []int {
+	counts := make([]int, len(edges))
+	for _, v := range values {
+		idx := 0
+		for i, e := range edges {
+			if v >= e {
+				idx = i
+			}
+		}
+		counts[idx]++
+	}
+	return counts
+}
+
+// Class is a prefetch-distance sensitivity type from Table 3.
+type Class uint8
+
+// Sensitivity classes (§4.5). Bad, HaswellBad, and CascadeBad are assigned
+// by CrossClassify from per-machine results.
+const (
+	// SingleOptimal: a clear single best distance.
+	SingleOptimal Class = iota
+	// RangeOptimal: a bounded range of equally good distances.
+	RangeOptimal
+	// Asymptotic: performance saturates as distance grows.
+	Asymptotic
+	// Bad: prefetching hurts at every distance on this machine.
+	Bad
+	// Noisy: too erratic to classify.
+	Noisy
+	// Other: everything else.
+	Other
+)
+
+func (c Class) String() string {
+	switch c {
+	case SingleOptimal:
+		return "single optimal"
+	case RangeOptimal:
+		return "range optimal"
+	case Asymptotic:
+		return "asymptotic"
+	case Bad:
+		return "bad"
+	case Noisy:
+		return "noisy"
+	case Other:
+		return "other"
+	}
+	return "unknown"
+}
+
+// Classify assigns a speedup-vs-distance curve to a sensitivity class.
+// distances must be ascending; speedups are relative to the no-prefetch
+// baseline (1.0 = parity).
+func Classify(distances []int, speedups []float64) Class {
+	n := len(speedups)
+	if n < 4 {
+		return Other
+	}
+	maxV, minV := speedups[0], speedups[0]
+	maxI := 0
+	for i, v := range speedups {
+		if v > maxV {
+			maxV, maxI = v, i
+		}
+		if v < minV {
+			minV = v
+		}
+	}
+	if maxV < 1.02 {
+		return Bad
+	}
+
+	// Noise: count significant direction reversals (amplitude above 5% of
+	// the curve's dynamic range). Smooth unimodal or saturating curves
+	// reverse direction at most a couple of times; erratic curves reverse
+	// constantly.
+	span := maxV - minV
+	sig := 0.05 * span
+	flips, lastDir := 0, 0
+	for i := 1; i < n; i++ {
+		d := speedups[i] - speedups[i-1]
+		if math.Abs(d) < sig {
+			continue
+		}
+		dir := 1
+		if d < 0 {
+			dir = -1
+		}
+		if lastDir != 0 && dir != lastDir {
+			flips++
+		}
+		lastDir = dir
+	}
+	if span > 0.05 && flips > n/6 {
+		return Noisy
+	}
+
+	// Near-optimal plateau: the contiguous region around the max within
+	// 2.5% of it.
+	tol := 0.975 * maxV
+	lo, hi := maxI, maxI
+	for lo > 0 && speedups[lo-1] >= tol {
+		lo--
+	}
+	for hi < n-1 && speedups[hi+1] >= tol {
+		hi++
+	}
+
+	// Asymptotic: the curve is still near its max at the largest
+	// distances measured.
+	if speedups[n-1] >= tol && hi == n-1 {
+		return Asymptotic
+	}
+	width := hi - lo + 1
+	switch {
+	case width <= max(2, n/8):
+		return SingleOptimal
+	case width <= n/2:
+		return RangeOptimal
+	}
+	return Other
+}
+
+// CrossClass is the final Table 3 label after combining both machines.
+type CrossClass uint8
+
+// Cross-machine classes.
+const (
+	XSingleOptimal CrossClass = iota
+	XRangeOptimal
+	XAsymptotic
+	XBothBad
+	XHaswellBad
+	XCascadeBad
+	XNoisy
+	XOther
+)
+
+func (c CrossClass) String() string {
+	switch c {
+	case XSingleOptimal:
+		return "single optimal"
+	case XRangeOptimal:
+		return "range optimal"
+	case XAsymptotic:
+		return "asymptotic"
+	case XBothBad:
+		return "both bad"
+	case XHaswellBad:
+		return "Haswell bad"
+	case XCascadeBad:
+		return "Cascade bad"
+	case XNoisy:
+		return "noisy"
+	case XOther:
+		return "other"
+	}
+	return "unknown"
+}
+
+// AllCrossClasses lists the Table 3 row order.
+func AllCrossClasses() []CrossClass {
+	return []CrossClass{XSingleOptimal, XRangeOptimal, XAsymptotic, XBothBad, XHaswellBad, XCascadeBad, XNoisy, XOther}
+}
+
+// CrossClassify combines per-machine classes for one input into the Table 3
+// taxonomy, from the perspective of the machine whose class is `mine`
+// (the paper's table repeats shared rows on both sides).
+func CrossClassify(cascade, haswell Class, mine Class) CrossClass {
+	switch {
+	case cascade == Bad && haswell == Bad:
+		return XBothBad
+	case haswell == Bad && cascade != Bad:
+		return XHaswellBad
+	case cascade == Bad && haswell != Bad:
+		return XCascadeBad
+	}
+	switch mine {
+	case SingleOptimal:
+		return XSingleOptimal
+	case RangeOptimal:
+		return XRangeOptimal
+	case Asymptotic:
+		return XAsymptotic
+	case Noisy:
+		return XNoisy
+	}
+	return XOther
+}

@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanAndStdDev(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty input must yield 0")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean = %f", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2) > 1e-9 {
+		t.Fatalf("stddev = %f, want 2", s)
+	}
+	if StdDev([]float64{7}) != 0 {
+		t.Fatal("single value has zero deviation")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	edges := []float64{0, 10, 20}
+	counts := Histogram([]float64{0, 5, 9.9, 10, 15, 25, 100}, edges)
+	want := []int{3, 2, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+}
+
+// mkCurve builds distances 1..n and speedups from a function.
+func mkCurve(n int, f func(d int) float64) ([]int, []float64) {
+	ds := make([]int, n)
+	ss := make([]float64, n)
+	for i := range ds {
+		ds[i] = i + 1
+		ss[i] = f(i + 1)
+	}
+	return ds, ss
+}
+
+func TestClassifyShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(d int) float64
+		want Class
+	}{
+		{"single-peak", func(d int) float64 {
+			return 1 + 0.8*math.Exp(-math.Pow(float64(d-20)/6, 2))
+		}, SingleOptimal},
+		{"plateau", func(d int) float64 {
+			if d >= 15 && d <= 50 {
+				return 1.5
+			}
+			return 1.0
+		}, RangeOptimal},
+		{"asymptotic", func(d int) float64 {
+			return 1 + 0.6*(1-math.Exp(-float64(d)/15))
+		}, Asymptotic},
+		{"always-bad", func(d int) float64 { return 0.8 }, Bad},
+		{"barely-above-one", func(d int) float64 { return 1.01 }, Bad},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ds, ss := mkCurve(100, tc.f)
+			if got := Classify(ds, ss); got != tc.want {
+				t.Fatalf("classified %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestClassifyNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds, ss := mkCurve(100, func(d int) float64 {
+		return 1.3 + 0.4*rng.Float64() // erratic, no structure
+	})
+	if got := Classify(ds, ss); got != Noisy {
+		t.Fatalf("classified %v, want noisy", got)
+	}
+}
+
+func TestClassifyShortCurve(t *testing.T) {
+	if got := Classify([]int{1, 2}, []float64{1, 2}); got != Other {
+		t.Fatalf("too-short curve = %v, want other", got)
+	}
+}
+
+// Property: Classify never panics and always returns a named class for
+// arbitrary positive curves.
+func TestClassifyTotalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(100)
+		ds, ss := mkCurve(n, func(d int) float64 { return 0.5 + 2*rng.Float64() })
+		c := Classify(ds, ss)
+		return c.String() != "unknown"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossClassify(t *testing.T) {
+	cases := []struct {
+		cl, hw, mine Class
+		want         CrossClass
+	}{
+		{Bad, Bad, Bad, XBothBad},
+		{SingleOptimal, Bad, SingleOptimal, XHaswellBad},
+		{Bad, Asymptotic, Asymptotic, XCascadeBad},
+		{SingleOptimal, RangeOptimal, SingleOptimal, XSingleOptimal},
+		{SingleOptimal, RangeOptimal, RangeOptimal, XRangeOptimal},
+		{Asymptotic, Asymptotic, Asymptotic, XAsymptotic},
+		{Noisy, SingleOptimal, Noisy, XNoisy},
+		{Other, Other, Other, XOther},
+	}
+	for _, tc := range cases {
+		if got := CrossClassify(tc.cl, tc.hw, tc.mine); got != tc.want {
+			t.Errorf("CrossClassify(%v,%v,%v) = %v, want %v", tc.cl, tc.hw, tc.mine, got, tc.want)
+		}
+	}
+}
+
+func TestAllCrossClassesNamed(t *testing.T) {
+	if len(AllCrossClasses()) != 8 {
+		t.Fatal("Table 3 has eight rows")
+	}
+	for _, c := range AllCrossClasses() {
+		if c.String() == "unknown" {
+			t.Errorf("class %d unnamed", c)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"rpg2/internal/machine"
+	"rpg2/internal/perf"
+	"rpg2/internal/rpg2"
+	. "rpg2/internal/workloads"
+)
+
+func TestSpawnWorkersShardsAndScales(t *testing.T) {
+	m := machine.CascadeLake()
+	run := func(threads int) uint64 {
+		w, err := Build("pr", "soc-alpha", 1<<30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := m.Launch(w.Bin, w.Setup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.SpawnWorkers(p, threads); err != nil {
+			t.Fatal(err)
+		}
+		if got := len(p.Threads()); got != threads {
+			t.Fatalf("threads = %d, want %d", got, threads)
+		}
+		watch := perf.AttachWatch(p, []int{w.WorkPC})
+		p.Run(m.Seconds(5))
+		if p.State().String() == "crashed" {
+			t.Fatalf("%d-thread run crashed: %v", threads, p.FaultedThread().Thread.Fault)
+		}
+		return watch.Count
+	}
+	one := run(1)
+	four := run(4)
+	t.Logf("1 thread: %d work items; 4 threads: %d (%.2fx)", one, four, float64(four)/float64(one))
+	// Threads share DRAM bandwidth, so scaling is sublinear but real.
+	if four < one*3/2 {
+		t.Fatalf("4 threads did %d vs %d single-threaded; no scaling", four, one)
+	}
+}
+
+func TestSpawnWorkersRejectsNonPartitionable(t *testing.T) {
+	m := machine.CascadeLake()
+	w, err := Build("bfs", "email-euall-like", 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Launch(w.Bin, w.Setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SpawnWorkers(p, 4); err == nil {
+		t.Fatal("bfs is not data-parallel; SpawnWorkers must refuse")
+	}
+	if err := w.SpawnWorkers(p, 1); err != nil {
+		t.Fatalf("single thread needs no partition: %v", err)
+	}
+}
+
+// TestOptimizeMultithreaded runs RPG² against a 4-thread PageRank: OSR must
+// move every thread and the tuned code must not crash any of them.
+func TestOptimizeMultithreaded(t *testing.T) {
+	m := machine.CascadeLake()
+	w, err := Build("pr", "soc-alpha", 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Launch(w.Bin, w.Setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SpawnWorkers(p, 4); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rpg2.New(m, rpg2.Config{Seed: 21}).Optimize(p)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	t.Logf("multithreaded outcome: %v d=%d", rep.Outcome, rep.FinalDistance)
+	if rep.Outcome == rpg2.NotActivated {
+		t.Fatal("4-thread pr should produce plenty of misses")
+	}
+	p.Run(m.Seconds(5))
+	if p.State().String() == "crashed" {
+		t.Fatalf("crashed after multithreaded optimization: %v", p.FaultedThread().Thread.Fault)
+	}
+	// Every runnable thread must be executing known code.
+	for _, tc := range p.Threads() {
+		if !tc.Thread.Runnable() {
+			continue
+		}
+		if _, ok := p.FuncAt(tc.Thread.PC); !ok {
+			t.Fatalf("thread %d at unknown pc %d", tc.ID, tc.Thread.PC)
+		}
+	}
+}
+
+func TestAutoPhaseDetection(t *testing.T) {
+	m := machine.CascadeLake()
+	w, err := Build("pr", "soc-alpha", 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Launch(w.Bin, w.Setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rpg2.New(m, rpg2.Config{Seed: 22, AutoPhaseDetect: true}).Optimize(p)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if rep.Outcome != rpg2.Tuned {
+		t.Fatalf("phase-detected run outcome %v", rep.Outcome)
+	}
+}
+
+func TestChaseIsUnsupported(t *testing.T) {
+	m := machine.CascadeLake()
+	w, err := Build("chase", "", 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Launch(w.Bin, w.Setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rpg2.New(m, rpg2.Config{Seed: 23, MinSamples: 10}).Optimize(p)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if rep.Outcome != rpg2.NotActivated {
+		t.Fatalf("pointer chasing is unsupported; outcome %v", rep.Outcome)
+	}
+	if rep.Samples < 10 {
+		t.Fatalf("chase must still profile plenty of misses, got %d", rep.Samples)
+	}
+	// The program was left untouched: no injected function.
+	if _, ok := p.Func("kernel.bolt"); ok {
+		t.Fatal("RPG² injected code for an unsupported pattern")
+	}
+	p.Run(m.Seconds(2))
+	if p.State().String() == "crashed" {
+		t.Fatal("chase crashed")
+	}
+}

@@ -1,0 +1,122 @@
+package workloads_test
+
+import (
+	. "rpg2/internal/workloads"
+	"testing"
+
+	"rpg2/internal/machine"
+)
+
+// launchAndRun starts a workload on the given machine and runs it for the
+// given number of cycles, returning the process for inspection.
+func launchAndRun(t *testing.T, bench, input string, m machine.Machine, cycles uint64) (*Workload, interface {
+	InitDone() bool
+	Clock() uint64
+}) {
+	t.Helper()
+	w, err := Build(bench, input, 1<<30)
+	if err != nil {
+		t.Fatalf("Build(%s,%s): %v", bench, input, err)
+	}
+	p, err := m.Launch(w.Bin, w.Setup)
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	p.Run(cycles)
+	return w, p
+}
+
+func TestAllBenchmarksExecute(t *testing.T) {
+	m := machine.CascadeLake()
+	cases := []struct {
+		bench, input string
+	}{
+		{"pr", "soc-alpha"},
+		{"bfs", "email-euall-like"},
+		{"sssp", "as-skitter-like"},
+		{"bc", "synth-u1"},
+		{"is", ""},
+		{"cg", ""},
+		{"randacc", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.bench, func(t *testing.T) {
+			w, err := Build(tc.bench, tc.input, 1<<30)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			if err := w.Bin.Validate(); err != nil {
+				t.Fatalf("binary invalid: %v", err)
+			}
+			p, err := m.Launch(w.Bin, w.Setup)
+			if err != nil {
+				t.Fatalf("Launch: %v", err)
+			}
+			p.Run(3_000_000)
+			if p.State().String() == "crashed" {
+				ft := p.FaultedThread()
+				t.Fatalf("workload crashed: %v (pc=%d)", ft.Thread.Fault, ft.Thread.PC)
+			}
+			if !p.InitDone() {
+				t.Fatalf("init phase never signalled completion")
+			}
+			c := p.Counters()
+			if c.Instructions == 0 || c.Cycles == 0 {
+				t.Fatalf("no progress: %+v", c)
+			}
+			stats := p.Threads()[0].Core.Hierarchy().Stats()
+			t.Logf("%s: %d instr, %d cycles, IPC=%.3f, LLC misses=%d (%.2f MPKI)",
+				tc.bench, c.Instructions, c.Cycles,
+				float64(c.Instructions)/float64(c.Cycles),
+				stats.LLCMisses, 1000*float64(stats.LLCMisses)/float64(c.Instructions))
+			if stats.DemandAccesses == 0 {
+				t.Fatal("no memory accesses observed")
+			}
+			// Every benchmark's main phase is memory-intensive: its
+			// indirect array exceeds the LLC, so misses must occur.
+			if stats.LLCMisses == 0 {
+				t.Fatalf("%s produced no LLC misses; prefetching would be moot", tc.bench)
+			}
+		})
+	}
+}
+
+func TestSmallInputStaysCacheResident(t *testing.T) {
+	m := machine.CascadeLake()
+	w, err := Build("pr", "as20000102-like", 1<<30)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	p, err := m.Launch(w.Bin, w.Setup)
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	p.Run(3_000_000)
+	c := p.Counters()
+	stats := p.Threads()[0].Core.Hierarchy().Stats()
+	mpki := 1000 * float64(stats.LLCMisses) / float64(c.Instructions)
+	t.Logf("small pr input: IPC=%.3f MPKI=%.3f", float64(c.Instructions)/float64(c.Cycles), mpki)
+	if mpki > 5 {
+		t.Fatalf("LLC-resident input shows MPKI=%.2f; expected <5 (prefetch-hostile case broken)", mpki)
+	}
+}
+
+func BenchmarkInterpreterThroughput(b *testing.B) {
+	m := machine.CascadeLake()
+	w, err := Build("pr", "soc-alpha", 1<<30)
+	if err != nil {
+		b.Fatalf("Build: %v", err)
+	}
+	p, err := m.Launch(w.Bin, w.Setup)
+	if err != nil {
+		b.Fatalf("Launch: %v", err)
+	}
+	before := p.Counters()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Run(1_000_000)
+	}
+	b.StopTimer()
+	after := p.Counters()
+	b.ReportMetric(float64(after.Instructions-before.Instructions)/b.Elapsed().Seconds(), "instr/s")
+}

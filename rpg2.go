@@ -1,0 +1,173 @@
+// Package rpg2 is the public API of the RPG² reproduction: robust
+// profile-guided runtime prefetch generation (ASPLOS 2024) rebuilt, together
+// with its entire machine substrate, as a pure-Go simulation.
+//
+// The library has three layers, all reachable from this facade:
+//
+//   - A simulated machine: a small ISA, an interpreter core with a
+//     cycle-accounting model, a three-level cache hierarchy with a hardware
+//     stride prefetcher and a bandwidth-bounded DRAM model, processes with a
+//     ptrace-style tracer, and PEBS-style profiling. Two machine
+//     configurations mirror the paper's Cascade Lake and Haswell servers.
+//   - The RPG² system itself: online profiling, a BOLT-style binary rewriter
+//     whose InjectPrefetchPass builds prefetch kernels from backward slices,
+//     runtime code injection with on-stack replacement, three-stage prefetch
+//     distance tuning, and rollback when prefetching hurts.
+//   - The evaluation: the CRONO and AJ benchmarks as simulated programs, the
+//     offline/APT-GET/manual baselines, and one runner per table and figure
+//     of the paper's evaluation section.
+//
+// Quickstart:
+//
+//	m := rpg2.CascadeLake()
+//	w, _ := rpg2.BuildWorkload("pr", "soc-alpha")
+//	p, _ := rpg2.Launch(m, w)
+//	report, _ := rpg2.Optimize(m, p, rpg2.Config{Seed: 1})
+//	fmt.Println(report.Outcome, report.FinalDistance)
+package rpg2
+
+import (
+	"rpg2/internal/baselines"
+	"rpg2/internal/cpu"
+	"rpg2/internal/experiments"
+	"rpg2/internal/graphs"
+	"rpg2/internal/machine"
+	"rpg2/internal/perf"
+	"rpg2/internal/proc"
+	rpgcore "rpg2/internal/rpg2"
+	"rpg2/internal/workloads"
+)
+
+// Machine is a simulated server configuration.
+type Machine = machine.Machine
+
+// CascadeLake returns the simulated Intel Xeon Gold 6230R configuration.
+func CascadeLake() Machine { return machine.CascadeLake() }
+
+// Haswell returns the simulated Intel Xeon E5-2618L v3 configuration.
+func Haswell() Machine { return machine.Haswell() }
+
+// Machines returns both evaluation machines.
+func Machines() []Machine { return machine.Both() }
+
+// MachineByName resolves "cascadelake" or "haswell".
+func MachineByName(name string) (Machine, bool) { return machine.ByName(name) }
+
+// Workload is a runnable benchmark: binary plus data setup.
+type Workload = workloads.Workload
+
+// Benchmarks lists the available benchmark names (CRONO then AJ).
+func Benchmarks() []string { return workloads.AllNames() }
+
+// GraphInput describes one catalogue graph input.
+type GraphInput = graphs.Input
+
+// GraphInputs returns the SNAP-like input catalogue used by pr, bfs and
+// sssp.
+func GraphInputs() []GraphInput { return graphs.Catalogue() }
+
+// SyntheticInputs returns the APT-GET-style synthetic inputs (bc's inputs).
+func SyntheticInputs() []GraphInput { return graphs.SyntheticCatalogue() }
+
+// BuildWorkload constructs a benchmark. input names a catalogue graph for
+// the CRONO benchmarks (pr, bfs, sssp, bc) and must be empty for the AJ
+// benchmarks (is, cg, randacc), which carry fixed inputs.
+func BuildWorkload(bench, input string) (*Workload, error) {
+	return workloads.Build(bench, input, 1<<30)
+}
+
+// Process is a running simulated program.
+type Process = proc.Process
+
+// Launch starts a workload on a fresh instance of the machine.
+func Launch(m Machine, w *Workload) (*Process, error) {
+	return m.Launch(w.Bin, w.Setup)
+}
+
+// LaunchParallel starts a data-parallel workload with the given number of
+// threads, each owning a shard of the iteration space and all contending
+// for the socket's shared LLC and DRAM bandwidth. Only the flat-loop
+// benchmarks (pr, sssp, is, cg, randacc) support this.
+func LaunchParallel(m Machine, w *Workload, threads int) (*Process, error) {
+	p, err := m.Launch(w.Bin, w.Setup)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.SpawnWorkers(p, threads); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// WorkCounter counts retirements of a set of instructions; see WatchWork.
+type WorkCounter = cpu.Watch
+
+// WatchWork attaches a work counter over the workload's marked miss-site
+// load to a freshly launched process, so throughput can be compared across
+// schemes. If RPG² later rewrites the code, it extends the counter across
+// the version switch automatically.
+func WatchWork(p *Process, w *Workload) *WorkCounter {
+	return perf.AttachWatch(p, []int{w.WorkPC})
+}
+
+// Config tunes the RPG² controller; the zero value uses the paper's
+// defaults (2 s profiling, 0.3 s IPC windows, distances capped at 200).
+type Config = rpgcore.Config
+
+// Report is the controller's account of one optimization session.
+type Report = rpgcore.Report
+
+// Outcome summarises what RPG² did to a target.
+type Outcome = rpgcore.Outcome
+
+// Controller outcomes.
+const (
+	// NotActivated: too little profiling signal; target untouched.
+	NotActivated = rpgcore.NotActivated
+	// Tuned: prefetching injected and a beneficial distance installed.
+	Tuned = rpgcore.Tuned
+	// RolledBack: prefetching hurt; execution steered back to f0.
+	RolledBack = rpgcore.RolledBack
+	// TargetExited: the target finished before optimization completed.
+	TargetExited = rpgcore.TargetExited
+)
+
+// Optimize attaches RPG² to a running process and drives all four phases:
+// profiling, code generation, runtime insertion with on-stack replacement,
+// and distance tuning with rollback. The process continues running after
+// detach.
+func Optimize(m Machine, p *Process, cfg Config) (*Report, error) {
+	return rpgcore.New(m, cfg).Optimize(p)
+}
+
+// Sweep is an offline distance sweep: per-distance speedup over the
+// no-prefetch baseline.
+type Sweep = baselines.Sweep
+
+// SweepConfig controls RunSweep.
+type SweepConfig = baselines.SweepConfig
+
+// DefaultSweep measures distances 1..100 like the paper's offline scheme.
+func DefaultSweep() SweepConfig { return baselines.DefaultSweep() }
+
+// RunSweep measures the steady-state speedup of each candidate prefetch
+// distance for a benchmark/input on a machine.
+func RunSweep(bench, input string, m Machine, cfg SweepConfig) (*Sweep, error) {
+	return baselines.RunSweep(bench, input, m, cfg)
+}
+
+// ExperimentOptions configures the evaluation harness scale.
+type ExperimentOptions = experiments.Options
+
+// Experiments is the harness that regenerates the paper's tables and
+// figures.
+type Experiments = experiments.Runner
+
+// DefaultExperiments returns the full-scale harness configuration.
+func DefaultExperiments() ExperimentOptions { return experiments.DefaultOptions() }
+
+// QuickExperiments returns a reduced configuration for smoke runs.
+func QuickExperiments() ExperimentOptions { return experiments.QuickOptions() }
+
+// NewExperiments builds the harness.
+func NewExperiments(opts ExperimentOptions) *Experiments { return experiments.NewRunner(opts) }

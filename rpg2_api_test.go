@@ -1,0 +1,69 @@
+package rpg2_test
+
+import (
+	"testing"
+
+	"rpg2"
+)
+
+// TestPublicAPIRoundTrip drives the facade exactly as README's quickstart
+// does: build, launch, optimize, keep running.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	m := rpg2.CascadeLake()
+	w, err := rpg2.BuildWorkload("pr", "soc-alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := rpg2.Launch(m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := rpg2.WatchWork(p, w)
+	rep, err := rpg2.Optimize(m, p, rpg2.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcome != rpg2.Tuned {
+		t.Fatalf("outcome %v", rep.Outcome)
+	}
+	before := counter.Count
+	p.Run(m.Seconds(2))
+	if counter.Count == before {
+		t.Fatal("no post-detach progress")
+	}
+}
+
+func TestPublicCatalogues(t *testing.T) {
+	if len(rpg2.Benchmarks()) != 7 {
+		t.Fatalf("benchmarks = %v", rpg2.Benchmarks())
+	}
+	if len(rpg2.GraphInputs()) < 20 || len(rpg2.SyntheticInputs()) < 5 {
+		t.Fatal("catalogues too small")
+	}
+	if _, ok := rpg2.MachineByName("haswell"); !ok {
+		t.Fatal("haswell missing")
+	}
+	if len(rpg2.Machines()) != 2 {
+		t.Fatal("want two machines")
+	}
+	if _, err := rpg2.BuildWorkload("nope", ""); err == nil {
+		t.Fatal("unknown benchmark should fail")
+	}
+}
+
+func TestPublicSweep(t *testing.T) {
+	m := rpg2.Haswell()
+	cfg := rpg2.DefaultSweep()
+	cfg.Distances = []int{2, 8, 32}
+	sw, err := rpg2.RunSweep("is", "", m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, s := sw.Best()
+	if d == 0 || s <= 0 {
+		t.Fatalf("Best = %d, %f", d, s)
+	}
+	if len(sw.Speedup) != 3 {
+		t.Fatalf("speedups = %v", sw.Speedup)
+	}
+}
