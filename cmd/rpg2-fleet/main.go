@@ -1,0 +1,132 @@
+// Command rpg2-fleet runs RPG² as a fleet service: N optimization sessions
+// drawn round-robin from the workload×input catalogue are pushed through a
+// bounded worker pool sharing one profile store, and the fleet-wide metrics
+// snapshot is printed at the end — sessions/sec, activation and rollback
+// rates, store hit rate, p50/p95 session wall time, and the cold-vs-warm
+// search cost.
+//
+// Usage:
+//
+//	rpg2-fleet -machine cascadelake -sessions 32 -workers 4
+//	rpg2-fleet -bench pr,bfs -pairs 4 -sessions 24 -journal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rpg2"
+)
+
+func main() {
+	machineName := flag.String("machine", "cascadelake", "machine: cascadelake or haswell")
+	sessions := flag.Int("sessions", 32, "number of optimization sessions to run")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	seconds := flag.Float64("seconds", 2, "simulated post-optimization run budget per session")
+	seed := flag.Int64("seed", 1, "root seed; session i uses seed+i")
+	benches := flag.String("bench", "all", "comma-separated benchmarks to draw from, or all")
+	pairs := flag.Int("pairs", 8, "limit of distinct (benchmark, input) pairs (0 = no limit)")
+	journal := flag.Bool("journal", false, "dump the event journal as JSON lines after the snapshot")
+	nostore := flag.Bool("no-store", false, "disable the profile store (every session cold)")
+	flag.Parse()
+
+	if err := run(*machineName, *sessions, *workers, *seconds, *seed, *benches, *pairs, *journal, *nostore); err != nil {
+		fmt.Fprintln(os.Stderr, "rpg2-fleet:", err)
+		os.Exit(1)
+	}
+}
+
+// catalogue builds the (benchmark, input) pairs the fleet draws from.
+func catalogue(benches string, limit int) ([]rpg2.SessionSpec, error) {
+	want := make(map[string]bool)
+	if benches == "all" || benches == "" {
+		for _, b := range rpg2.Benchmarks() {
+			want[b] = true
+		}
+	} else {
+		known := make(map[string]bool)
+		for _, b := range rpg2.Benchmarks() {
+			known[b] = true
+		}
+		for _, b := range strings.Split(benches, ",") {
+			b = strings.TrimSpace(b)
+			if !known[b] {
+				return nil, fmt.Errorf("unknown benchmark %q (have %v)", b, rpg2.Benchmarks())
+			}
+			want[b] = true
+		}
+	}
+	var specs []rpg2.SessionSpec
+	for _, b := range rpg2.Benchmarks() {
+		if !want[b] {
+			continue
+		}
+		switch b {
+		case "pr", "bfs", "sssp":
+			for _, in := range rpg2.GraphInputs() {
+				specs = append(specs, rpg2.SessionSpec{Bench: b, Input: in.Name})
+			}
+		case "bc":
+			for _, in := range rpg2.SyntheticInputs() {
+				specs = append(specs, rpg2.SessionSpec{Bench: b, Input: in.Name})
+			}
+		default: // AJ benchmarks carry a fixed input
+			specs = append(specs, rpg2.SessionSpec{Bench: b})
+		}
+	}
+	if limit > 0 && len(specs) > limit {
+		specs = specs[:limit]
+	}
+	return specs, nil
+}
+
+func run(machineName string, sessions, workers int, seconds float64, seed int64,
+	benches string, pairs int, journal, nostore bool) error {
+
+	m, ok := rpg2.MachineByName(machineName)
+	if !ok {
+		return fmt.Errorf("unknown machine %q", machineName)
+	}
+	pool, err := catalogue(benches, pairs)
+	if err != nil {
+		return err
+	}
+	if len(pool) == 0 {
+		return fmt.Errorf("no (benchmark, input) pairs selected")
+	}
+
+	f := rpg2.NewFleet(rpg2.FleetConfig{
+		Machine:      m,
+		Workers:      workers,
+		RunSeconds:   seconds,
+		DisableStore: nostore,
+	})
+	defer f.Close()
+
+	specs := make([]rpg2.SessionSpec, sessions)
+	for i := range specs {
+		specs[i] = pool[i%len(pool)]
+		specs[i].Seed = seed + int64(i)
+	}
+	fmt.Printf("running %d sessions over %d (benchmark, input) pairs on %s\n\n",
+		sessions, len(pool), m.Name)
+	if _, err := f.Run(specs); err != nil {
+		return err
+	}
+
+	fmt.Print(f.Snapshot().Render())
+	for _, s := range f.Sessions() {
+		if err := s.Err(); err != nil {
+			fmt.Printf("session %d (%s/%s) failed: %v\n", s.ID, s.Spec.Bench, s.Spec.Input, err)
+		}
+	}
+	if journal {
+		fmt.Println()
+		if err := f.Journal().WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

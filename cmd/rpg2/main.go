@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,15 +25,16 @@ func main() {
 	seconds := flag.Float64("seconds", 60, "total simulated run duration")
 	seed := flag.Int64("seed", 1, "controller random seed")
 	timeline := flag.Bool("timeline", false, "print the session's performance timeline")
+	jsonOut := flag.Bool("json", false, "emit the session report as JSON instead of text")
 	flag.Parse()
 
-	if err := run(*bench, *input, *machineName, *seconds, *seed, *timeline); err != nil {
+	if err := run(*bench, *input, *machineName, *seconds, *seed, *timeline, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "rpg2:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, input, machineName string, seconds float64, seed int64, timeline bool) error {
+func run(bench, input, machineName string, seconds float64, seed int64, timeline, jsonOut bool) error {
 	m, ok := rpg2.MachineByName(machineName)
 	if !ok {
 		return fmt.Errorf("unknown machine %q", machineName)
@@ -72,6 +74,24 @@ func run(bench, input, machineName string, seconds float64, seed int64, timeline
 		p.Run(budget - p.Clock())
 	}
 	work := counter.Count
+
+	if jsonOut {
+		// The fleet's event journal embeds reports with this same
+		// encoding, so single-session dumps and journals share tooling.
+		out := struct {
+			Bench   string
+			Input   string
+			Machine string
+			Speedup float64
+			Report  *rpg2.Report
+		}{bench, input, m.Name, 0, rep}
+		if refWork > 0 {
+			out.Speedup = float64(work) / float64(refWork)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
 
 	fmt.Printf("benchmark      %s/%s on %s\n", bench, input, m.Name)
 	fmt.Printf("outcome        %v\n", rep.Outcome)

@@ -1,0 +1,54 @@
+// Example fleet shows the profile store amortising RPG²'s work across
+// sessions: the first session on a workload profiles and searches cold,
+// commits what it learned, and every later session on the same (benchmark,
+// input, machine) is warm-started from the cached candidate sites and tuned
+// distance — converging in measurably fewer distance probes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rpg2"
+)
+
+func main() {
+	m := rpg2.CascadeLake()
+	f := rpg2.NewFleet(rpg2.FleetConfig{Machine: m, Workers: 2})
+	defer f.Close()
+
+	// One cold session first, alone, so its profile is committed before
+	// the rest of the fleet arrives.
+	cold, err := f.Submit(rpg2.SessionSpec{Bench: "cg", Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f.Drain()
+
+	// Five more sessions on the same workload: all warm.
+	var specs []rpg2.SessionSpec
+	for i := 0; i < 5; i++ {
+		specs = append(specs, rpg2.SessionSpec{Bench: "cg", Seed: int64(10 + i)})
+	}
+	warm, err := f.Run(specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(s *rpg2.FleetSession) {
+		rep := s.Report()
+		temp := "cold"
+		if s.Warm() {
+			temp = "warm"
+		}
+		fmt.Printf("session %d  %-4s  %-12v  %d probes  distance %d\n",
+			s.ID, temp, rep.Outcome, rep.Costs.PDEdits, rep.FinalDistance)
+	}
+	show(cold)
+	for _, s := range warm {
+		show(s)
+	}
+
+	fmt.Println()
+	fmt.Print(f.Snapshot().Render())
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParDoBoundsAndCompletes pins down the two properties every harness
+// fan-out (and the fleet's worker pool sizing assumptions) relies on:
+// parDo never runs more than Parallelism bodies at once, and it runs every
+// index exactly once. Run under -race in CI.
+func TestParDoBoundsAndCompletes(t *testing.T) {
+	const n, bound = 100, 3
+	r := NewRunner(Options{Parallelism: bound})
+
+	var cur, peak int32
+	counts := make([]int32, n)
+	r.parDo(n, func(i int) {
+		c := atomic.AddInt32(&cur, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+				break
+			}
+		}
+		atomic.AddInt32(&counts[i], 1)
+		atomic.AddInt32(&cur, -1)
+	})
+
+	if got := atomic.LoadInt32(&peak); got > bound {
+		t.Fatalf("observed %d concurrent bodies, bound is %d", got, bound)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestParDoZero: an empty fan-out returns immediately.
+func TestParDoZero(t *testing.T) {
+	r := NewRunner(Options{Parallelism: 2})
+	done := false
+	var mu sync.Mutex
+	r.parDo(0, func(int) { mu.Lock(); done = true; mu.Unlock() })
+	if done {
+		t.Fatal("body ran for n=0")
+	}
+}

@@ -1,0 +1,532 @@
+// Package fleet runs RPG² as a long-lived service over many simulated
+// target processes at once — the datacenter deployment the paper pitches
+// but the seed repo could not express. A Fleet owns an admission queue, a
+// bounded worker pool, and a per-session lifecycle state machine wrapping
+// the single-process controller; a shared profile store amortises PEBS
+// profiling and distance search across sessions on matching workloads; an
+// event journal and a metrics layer make the whole thing observable.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"rpg2/internal/machine"
+	"rpg2/internal/perf"
+	rpgcore "rpg2/internal/rpg2"
+	"rpg2/internal/workloads"
+)
+
+// State is a session's position in the fleet lifecycle.
+type State uint8
+
+// Session lifecycle states. Profiling/Rewriting/Tuning track the
+// controller's phases via its OnPhase hook; Done covers the tuned,
+// not-activated and target-exited outcomes, RolledBack and Failed are the
+// two unhappy endings.
+const (
+	Queued State = iota
+	Profiling
+	Rewriting
+	Tuning
+	Done
+	RolledBack
+	Failed
+)
+
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Profiling:
+		return "profiling"
+	case Rewriting:
+		return "rewriting"
+	case Tuning:
+		return "tuning"
+	case Done:
+		return "done"
+	case RolledBack:
+		return "rolled-back"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Terminal reports whether a session in this state is finished.
+func (s State) Terminal() bool { return s == Done || s == RolledBack || s == Failed }
+
+// legalNext enumerates the state machine's edges. Profiling may jump
+// straight to Done (not enough samples → not-activated) and any live state
+// may fail; everything else moves strictly forward.
+var legalNext = map[State][]State{
+	// Queued -> Done covers a target that exits during init-wait,
+	// before the controller's first phase hook fires.
+	Queued:    {Profiling, Done, Failed},
+	Profiling: {Rewriting, Tuning, Done, RolledBack, Failed},
+	Rewriting: {Tuning, Done, RolledBack, Failed},
+	Tuning:    {Done, RolledBack, Failed},
+}
+
+// SessionSpec names one unit of fleet work: attach RPG² to a fresh run of
+// a workload and drive it to a terminal outcome.
+type SessionSpec struct {
+	// Bench and Input pick the workload (Input empty for AJ benchmarks).
+	Bench string
+	Input string
+	// Seed drives the session controller's randomness.
+	Seed int64
+	// RunSeconds is the simulated post-optimization run budget; 0 uses
+	// the fleet default.
+	RunSeconds float64
+}
+
+// Session is one tracked optimization of one target process.
+type Session struct {
+	// ID is the fleet-assigned admission number.
+	ID int
+	// Spec is what was submitted.
+	Spec SessionSpec
+
+	mu     sync.Mutex
+	state  State
+	warm   bool
+	report *rpgcore.Report
+	err    error
+	wall   time.Duration
+}
+
+// State returns the session's current lifecycle state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Warm reports whether the session was seeded from the profile store.
+func (s *Session) Warm() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.warm
+}
+
+// Report returns the controller's report (nil until terminal or on failure
+// before optimization started).
+func (s *Session) Report() *rpgcore.Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.report
+}
+
+// Err returns the failure, if the session failed.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Wall returns the session's wall-clock duration (zero until terminal).
+func (s *Session) Wall() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wall
+}
+
+// Probes returns the number of distance probes the session's search made.
+func (s *Session) Probes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.report == nil {
+		return 0
+	}
+	return s.report.Costs.PDEdits
+}
+
+// Config tunes a Fleet. The zero value of every field has a sensible
+// default except Machine, which must be set.
+type Config struct {
+	// Machine all sessions run on.
+	Machine machine.Machine
+	// Workers bounds concurrent sessions (default GOMAXPROCS).
+	Workers int
+	// RunSeconds is the default simulated post-optimization run budget
+	// per session (default 2).
+	RunSeconds float64
+	// Session is the base controller configuration; each session
+	// overrides Seed (and, when warm, the seeding fields).
+	Session rpgcore.Config
+	// Store shares a profile store across fleets; nil creates a private
+	// one (unless DisableStore).
+	Store *Store
+	// StoreConfig configures the private store when Store is nil.
+	StoreConfig StoreConfig
+	// DisableStore turns off profile reuse: every session runs cold.
+	DisableStore bool
+	// WarmProfileSeconds is the shortened PEBS window for store-seeded
+	// sessions (default 0.5; the cold default is the paper's 2 s).
+	WarmProfileSeconds float64
+	// RegressTolerance is the relative miss-site retirement-rate
+	// regression, versus the rate the store entry promised, beyond which
+	// a warm session invalidates the entry (default 0.25).
+	RegressTolerance float64
+}
+
+func (c Config) defaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.RunSeconds == 0 {
+		c.RunSeconds = 2
+	}
+	if c.WarmProfileSeconds == 0 {
+		c.WarmProfileSeconds = 0.5
+	}
+	if c.RegressTolerance == 0 {
+		c.RegressTolerance = 0.25
+	}
+	return c
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("fleet: closed to new sessions")
+
+// Fleet is the long-lived service: submit sessions, drain, snapshot.
+type Fleet struct {
+	cfg     Config
+	store   *Store
+	journal *Journal
+	metrics *metrics
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []*Session
+	inflight  int
+	nextID    int
+	queuePeak int
+	closed    bool
+	sessions  []*Session
+
+	workers sync.WaitGroup
+}
+
+// New starts a fleet: the worker pool is live immediately and sessions run
+// as they are submitted. Call Close when done admitting.
+func New(cfg Config) *Fleet {
+	cfg = cfg.defaults()
+	f := &Fleet{
+		cfg:     cfg,
+		store:   cfg.Store,
+		journal: NewJournal(),
+		metrics: newMetrics(),
+	}
+	if f.store == nil && !cfg.DisableStore {
+		f.store = NewStore(cfg.StoreConfig)
+	}
+	f.cond = sync.NewCond(&f.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		f.workers.Add(1)
+		go f.worker()
+	}
+	return f
+}
+
+// Store returns the fleet's profile store (nil when disabled).
+func (f *Fleet) Store() *Store {
+	if f.cfg.DisableStore {
+		return nil
+	}
+	return f.store
+}
+
+// Journal returns the fleet's event journal.
+func (f *Fleet) Journal() *Journal { return f.journal }
+
+// Sessions returns every admitted session in admission order.
+func (f *Fleet) Sessions() []*Session {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*Session, len(f.sessions))
+	copy(out, f.sessions)
+	return out
+}
+
+// Submit admits one session to the queue and returns its handle.
+func (f *Fleet) Submit(spec SessionSpec) (*Session, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s := &Session{ID: f.nextID, Spec: spec, state: Queued}
+	f.nextID++
+	f.queue = append(f.queue, s)
+	f.sessions = append(f.sessions, s)
+	if len(f.queue) > f.queuePeak {
+		f.queuePeak = len(f.queue)
+	}
+	f.mu.Unlock()
+
+	f.metrics.submit()
+	f.journal.add(Event{
+		Session: s.ID, Type: "queued",
+		Bench: spec.Bench, Input: spec.Input, State: Queued.String(),
+	})
+	f.cond.Broadcast()
+	return s, nil
+}
+
+// Drain blocks until every admitted session has reached a terminal state.
+func (f *Fleet) Drain() {
+	f.mu.Lock()
+	for len(f.queue) > 0 || f.inflight > 0 {
+		f.cond.Wait()
+	}
+	f.mu.Unlock()
+}
+
+// Close stops admission, drains the queue, and stops the workers.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	f.cond.Broadcast()
+	f.workers.Wait()
+}
+
+// Run is the batch convenience: submit all specs, drain, return the
+// sessions. The fleet stays open for more work afterwards.
+func (f *Fleet) Run(specs []SessionSpec) ([]*Session, error) {
+	out := make([]*Session, 0, len(specs))
+	for _, spec := range specs {
+		s, err := f.Submit(spec)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, s)
+	}
+	f.Drain()
+	return out, nil
+}
+
+// Snapshot freezes the fleet-wide metrics.
+func (f *Fleet) Snapshot() Snapshot {
+	f.mu.Lock()
+	workers, peak := f.cfg.Workers, f.queuePeak
+	f.mu.Unlock()
+	var store *Store
+	if !f.cfg.DisableStore {
+		store = f.store
+	}
+	return f.metrics.snapshot(store, workers, peak)
+}
+
+func (f *Fleet) worker() {
+	defer f.workers.Done()
+	for {
+		f.mu.Lock()
+		for len(f.queue) == 0 && !f.closed {
+			f.cond.Wait()
+		}
+		if len(f.queue) == 0 {
+			f.mu.Unlock()
+			return
+		}
+		s := f.queue[0]
+		f.queue = f.queue[1:]
+		f.inflight++
+		f.mu.Unlock()
+
+		f.runSession(s)
+
+		f.mu.Lock()
+		f.inflight--
+		f.mu.Unlock()
+		f.cond.Broadcast()
+	}
+}
+
+// transition moves a session along the state machine, journaling the edge.
+// An illegal edge is a controller bug; it panics rather than silently
+// corrupting the lifecycle invariants the tests assert on.
+func (f *Fleet) transition(s *Session, next State, at float64) {
+	s.mu.Lock()
+	cur := s.state
+	if cur == next {
+		s.mu.Unlock()
+		return
+	}
+	ok := false
+	for _, t := range legalNext[cur] {
+		if t == next {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		s.mu.Unlock()
+		panic(fmt.Sprintf("fleet: illegal transition %v -> %v (session %d)", cur, next, s.ID))
+	}
+	s.state = next
+	s.mu.Unlock()
+	f.journal.add(Event{
+		Session: s.ID, Type: "state", State: next.String(), At: at,
+		Bench: s.Spec.Bench, Input: s.Spec.Input,
+	})
+}
+
+func (f *Fleet) failSession(s *Session, started time.Time, err error) {
+	f.transition(s, Failed, 0)
+	s.mu.Lock()
+	s.err = err
+	s.wall = time.Since(started)
+	s.mu.Unlock()
+	f.metrics.fail(s.Wall())
+	f.journal.add(Event{
+		Session: s.ID, Type: "session-failed", State: Failed.String(),
+		Bench: s.Spec.Bench, Input: s.Spec.Input, Err: err.Error(),
+	})
+}
+
+// runSession drives one session end to end: store lookup, launch, optimize
+// under the phase hook, post-run, store policy, terminal bookkeeping.
+func (f *Fleet) runSession(s *Session) {
+	started := time.Now()
+	key := Key{Bench: s.Spec.Bench, Input: s.Spec.Input, Machine: f.cfg.Machine.Name}
+
+	cfg := f.cfg.Session
+	cfg.Seed = s.Spec.Seed
+
+	var seed Entry
+	var seedGen uint64
+	warm := false
+	if !f.cfg.DisableStore {
+		if e, gen, ok := f.store.Lookup(key); ok {
+			warm, seed, seedGen = true, e, gen
+			cfg.SeedFunc = e.Func
+			cfg.SeedCandidates = e.Candidates
+			cfg.SeedDistance = e.Distance
+			cfg.ProfileSeconds = f.cfg.WarmProfileSeconds
+		}
+		typ := "store-miss"
+		if warm {
+			typ = "store-hit"
+		}
+		f.journal.add(Event{
+			Session: s.ID, Type: typ, Warm: warm,
+			Bench: s.Spec.Bench, Input: s.Spec.Input,
+		})
+	}
+	s.mu.Lock()
+	s.warm = warm
+	s.mu.Unlock()
+
+	w, err := workloads.Build(s.Spec.Bench, s.Spec.Input, 1<<30)
+	if err != nil {
+		f.failSession(s, started, err)
+		return
+	}
+	p, err := f.cfg.Machine.Launch(w.Bin, w.Setup)
+	if err != nil {
+		f.failSession(s, started, err)
+		return
+	}
+	perf.AttachWatch(p, []int{w.WorkPC})
+
+	cfg.OnPhase = func(name string, at float64) {
+		switch name {
+		case "profile":
+			f.transition(s, Profiling, at)
+		case "rewrite", "insert":
+			f.transition(s, Rewriting, at)
+		case "tune":
+			f.transition(s, Tuning, at)
+		}
+	}
+	rep, err := rpgcore.New(f.cfg.Machine, cfg).Optimize(p)
+	if err != nil {
+		s.mu.Lock()
+		s.report = rep
+		s.mu.Unlock()
+		f.failSession(s, started, err)
+		return
+	}
+
+	// Let the optimized (or untouched) target run out its budget, as a
+	// fleet operator would leave the service attached to a live process.
+	run := s.Spec.RunSeconds
+	if run == 0 {
+		run = f.cfg.RunSeconds
+	}
+	if budget := f.cfg.Machine.Seconds(run); p.Clock() < budget {
+		p.Run(budget - p.Clock())
+	}
+
+	f.applyStorePolicy(s, key, rep, warm, seed, seedGen)
+
+	final := Done
+	if rep.Outcome == rpgcore.RolledBack {
+		final = RolledBack
+	}
+	f.transition(s, final, rep.Costs.ExecSeconds)
+	s.mu.Lock()
+	s.report = rep
+	s.wall = time.Since(started)
+	s.mu.Unlock()
+	f.metrics.finish(rep.Outcome.String(), warm, rep.Costs.PDEdits, s.Wall())
+	f.journal.add(Event{
+		Session: s.ID, Type: "session-done", State: final.String(),
+		Bench: s.Spec.Bench, Input: s.Spec.Input, Warm: warm, Report: rep,
+	})
+}
+
+// applyStorePolicy decides what a finished session teaches the store: a
+// cold tuned session commits its profile; a warm tuned session refreshes
+// the entry, unless the reused distance regressed the miss-site retirement
+// rate the entry promised, in which case it invalidates; a warm rolled-back
+// session always invalidates (the cached profile actively hurt).
+func (f *Fleet) applyStorePolicy(s *Session, key Key, rep *rpgcore.Report, warm bool, seed Entry, seedGen uint64) {
+	if f.cfg.DisableStore {
+		return
+	}
+	switch {
+	case rep.Outcome == rpgcore.Tuned && warm:
+		if seed.TunedRate > 0 && rep.BestRate < seed.TunedRate*(1-f.cfg.RegressTolerance) {
+			if f.store.Invalidate(key, seedGen) {
+				f.journal.add(Event{Session: s.ID, Type: "store-invalidate",
+					Bench: key.Bench, Input: key.Input, Warm: true})
+			}
+			return
+		}
+		f.store.Commit(key, f.entryFrom(s, rep, seed.Candidates))
+		f.journal.add(Event{Session: s.ID, Type: "store-commit",
+			Bench: key.Bench, Input: key.Input, Warm: true})
+	case rep.Outcome == rpgcore.Tuned:
+		cands := make([]int, 0, len(rep.Sites))
+		for _, site := range rep.Sites {
+			cands = append(cands, site.DemandPC)
+		}
+		f.store.Commit(key, f.entryFrom(s, rep, cands))
+		f.journal.add(Event{Session: s.ID, Type: "store-commit",
+			Bench: key.Bench, Input: key.Input})
+	case rep.Outcome == rpgcore.RolledBack && warm:
+		if f.store.Invalidate(key, seedGen) {
+			f.journal.add(Event{Session: s.ID, Type: "store-invalidate",
+				Bench: key.Bench, Input: key.Input, Warm: true})
+		}
+	}
+}
+
+func (f *Fleet) entryFrom(s *Session, rep *rpgcore.Report, cands []int) Entry {
+	return Entry{
+		Func:         rep.FuncName,
+		Candidates:   cands,
+		Distance:     rep.FinalDistance,
+		BaselineRate: rep.BaselineRate,
+		TunedRate:    rep.BestRate,
+		Session:      s.ID,
+	}
+}

@@ -1,0 +1,92 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	rpgcore "rpg2/internal/rpg2"
+)
+
+// Event is one record on the fleet's journal: a session state transition,
+// a profile-store decision, or a terminal session report. Events marshal to
+// JSON with the same Report encoding cmd/rpg2 -json emits, so fleet
+// journals and single-session dumps can share tooling.
+type Event struct {
+	// Seq is the journal-global sequence number (assigned on append).
+	Seq int `json:"seq"`
+	// Wall is seconds of real time since the journal was opened.
+	Wall float64 `json:"wall"`
+	// Session is the subject session's ID (-1 for fleet-level events).
+	Session int `json:"session"`
+	// Type is the event kind: "queued", "state", "store-hit",
+	// "store-miss", "store-commit", "store-invalidate", "session-done",
+	// "session-failed".
+	Type string `json:"type"`
+	// Bench and Input name the session's workload.
+	Bench string `json:"bench,omitempty"`
+	Input string `json:"input,omitempty"`
+	// State is the session state entered (for "state" events and
+	// terminal events).
+	State string `json:"state,omitempty"`
+	// At is the session-relative simulated time of a phase transition.
+	At float64 `json:"t,omitempty"`
+	// Warm marks sessions that were seeded from the profile store.
+	Warm bool `json:"warm,omitempty"`
+	// Err carries the failure for "session-failed" events.
+	Err string `json:"error,omitempty"`
+	// Report is the full controller report for "session-done" events.
+	Report *rpgcore.Report `json:"report,omitempty"`
+}
+
+// Journal is an append-only, concurrency-safe event log.
+type Journal struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []Event
+}
+
+// NewJournal opens an empty journal; Wall timestamps are relative to now.
+func NewJournal() *Journal {
+	return &Journal{start: time.Now()}
+}
+
+func (j *Journal) add(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e.Seq = len(j.events)
+	e.Wall = time.Since(j.start).Seconds()
+	j.events = append(j.events, e)
+}
+
+// Events returns a copy of the log in append order.
+func (j *Journal) Events() []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, len(j.events))
+	copy(out, j.events)
+	return out
+}
+
+// SessionEvents returns the events belonging to one session, in order.
+func (j *Journal) SessionEvents(id int) []Event {
+	var out []Event
+	for _, e := range j.Events() {
+		if e.Session == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteJSON streams the journal as newline-delimited JSON.
+func (j *Journal) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range j.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

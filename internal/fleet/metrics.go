@@ -1,0 +1,179 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// metrics accumulates fleet-wide counters; Snapshot freezes them.
+type metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	submitted int
+	completed int
+	failed    int
+	outcomes  map[string]int // terminal rpg2 outcome name -> count
+	wallSecs  []float64      // per completed session
+	coldProbe []int          // search probes per cold session that searched
+	warmProbe []int          // search probes per warm session that searched
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), outcomes: make(map[string]int)}
+}
+
+func (m *metrics) submit() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.submitted++
+}
+
+func (m *metrics) finish(outcome string, warm bool, probes int, wall time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.completed++
+	m.outcomes[outcome]++
+	m.wallSecs = append(m.wallSecs, wall.Seconds())
+	if probes > 0 {
+		if warm {
+			m.warmProbe = append(m.warmProbe, probes)
+		} else {
+			m.coldProbe = append(m.coldProbe, probes)
+		}
+	}
+}
+
+func (m *metrics) fail(wall time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.completed++
+	m.failed++
+	m.wallSecs = append(m.wallSecs, wall.Seconds())
+}
+
+// Snapshot is a point-in-time view of the fleet's health — the counters the
+// issue's operator story needs: throughput, activation and rollback rates,
+// profile-store effectiveness, and the cold-vs-warm search cost.
+type Snapshot struct {
+	Workers   int `json:"workers"`
+	Submitted int `json:"submitted"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	QueuePeak int `json:"queue_peak"`
+
+	// Terminal outcome counts (rpg2 outcome names).
+	Tuned        int `json:"tuned"`
+	RolledBack   int `json:"rolled_back"`
+	NotActivated int `json:"not_activated"`
+	TargetExited int `json:"target_exited"`
+
+	// ActivationRate is the share of completed sessions where RPG²
+	// injected code (tuned or rolled back); RollbackRate is the share of
+	// activated sessions that rolled back.
+	ActivationRate float64 `json:"activation_rate"`
+	RollbackRate   float64 `json:"rollback_rate"`
+
+	// SessionsPerSec is completed sessions per wall-clock second.
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	// P50Wall and P95Wall are wall-clock session latencies in seconds.
+	P50Wall float64 `json:"p50_wall"`
+	P95Wall float64 `json:"p95_wall"`
+
+	// Store policy counters and the derived hit rate.
+	Store        StoreCounters `json:"store"`
+	StoreHitRate float64       `json:"store_hit_rate"`
+	StoreEntries int           `json:"store_entries"`
+
+	// Search cost split by temperature: mean distance probes per session
+	// that ran a search.
+	ColdSessions   int     `json:"cold_sessions"`
+	WarmSessions   int     `json:"warm_sessions"`
+	ColdProbesMean float64 `json:"cold_probes_mean"`
+	WarmProbesMean float64 `json:"warm_probes_mean"`
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func meanInt(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}
+
+func (m *metrics) snapshot(store *Store, workers, queuePeak int) Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Workers:        workers,
+		Submitted:      m.submitted,
+		Completed:      m.completed,
+		Failed:         m.failed,
+		QueuePeak:      queuePeak,
+		Tuned:          m.outcomes["tuned"],
+		RolledBack:     m.outcomes["rolled-back"],
+		NotActivated:   m.outcomes["not-activated"],
+		TargetExited:   m.outcomes["target-exited"],
+		ColdSessions:   len(m.coldProbe),
+		WarmSessions:   len(m.warmProbe),
+		ColdProbesMean: meanInt(m.coldProbe),
+		WarmProbesMean: meanInt(m.warmProbe),
+	}
+	if s.Completed > 0 {
+		s.ActivationRate = float64(s.Tuned+s.RolledBack) / float64(s.Completed)
+	}
+	if n := s.Tuned + s.RolledBack; n > 0 {
+		s.RollbackRate = float64(s.RolledBack) / float64(n)
+	}
+	if el := time.Since(m.start).Seconds(); el > 0 {
+		s.SessionsPerSec = float64(s.Completed) / el
+	}
+	sorted := append([]float64(nil), m.wallSecs...)
+	sort.Float64s(sorted)
+	s.P50Wall = percentile(sorted, 0.50)
+	s.P95Wall = percentile(sorted, 0.95)
+	if store != nil {
+		s.Store = store.Counters()
+		s.StoreEntries = store.Len()
+		if n := s.Store.Hits + s.Store.Misses; n > 0 {
+			s.StoreHitRate = float64(s.Store.Hits) / float64(n)
+		}
+	}
+	return s
+}
+
+// Render formats the snapshot as the operator-facing text block printed by
+// cmd/rpg2-fleet.
+func (s Snapshot) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet snapshot\n")
+	fmt.Fprintf(&b, "  sessions       %d submitted, %d completed, %d failed\n",
+		s.Submitted, s.Completed, s.Failed)
+	fmt.Fprintf(&b, "  outcomes       %d tuned, %d rolled-back, %d not-activated, %d target-exited\n",
+		s.Tuned, s.RolledBack, s.NotActivated, s.TargetExited)
+	fmt.Fprintf(&b, "  rates          activation %.1f%%, rollback %.1f%%\n",
+		100*s.ActivationRate, 100*s.RollbackRate)
+	fmt.Fprintf(&b, "  throughput     %.2f sessions/s, wall p50 %.3fs p95 %.3fs\n",
+		s.SessionsPerSec, s.P50Wall, s.P95Wall)
+	fmt.Fprintf(&b, "  profile store  %d hits, %d misses (hit rate %.1f%%), %d stale, %d invalidated, %d commits, %d live\n",
+		s.Store.Hits, s.Store.Misses, 100*s.StoreHitRate,
+		s.Store.Stale, s.Store.Invalidations, s.Store.Commits, s.StoreEntries)
+	fmt.Fprintf(&b, "  search probes  cold %.1f mean over %d sessions, warm %.1f mean over %d sessions\n",
+		s.ColdProbesMean, s.ColdSessions, s.WarmProbesMean, s.WarmSessions)
+	fmt.Fprintf(&b, "  scheduling     %d workers, peak queue depth %d\n",
+		s.Workers, s.QueuePeak)
+	return b.String()
+}

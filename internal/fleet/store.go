@@ -1,0 +1,145 @@
+// The profile store is the fleet's stale-profile-reuse layer: the first
+// session on a (benchmark, input, machine) combination pays for full PEBS
+// profiling and a cold distance search, then commits what it learned; later
+// sessions on a matching combination are warm-started from the cached
+// candidate sites and tuned distance, shortening both profiling and search.
+// Entries age out after a bounded number of reuses (staleness) and are
+// invalidated when a reused distance regresses the miss-site retirement
+// rate, so a drifted workload falls back to fresh profiling instead of
+// being pinned to a bad distance forever.
+package fleet
+
+import "sync"
+
+// Key identifies the workload context a profile was collected in. Profiles
+// are machine-specific: the paper's central result is that a distance tuned
+// for one microarchitecture transplants badly to another.
+type Key struct {
+	Bench   string `json:"bench"`
+	Input   string `json:"input"`
+	Machine string `json:"machine"`
+}
+
+// Entry is one cached profile: the hot function, its candidate prefetch
+// sites, and the distance the search settled on, plus the rates that let a
+// later session judge whether the reuse still pays.
+type Entry struct {
+	// Func is the hot function the sites live in.
+	Func string `json:"func"`
+	// Candidates are the PEBS candidate load PCs (f0 addresses).
+	Candidates []int `json:"candidates"`
+	// Distance is the tuned prefetch distance.
+	Distance int `json:"distance"`
+	// BaselineRate and TunedRate are the miss-site retirement rates
+	// observed before and after tuning in the committing session.
+	BaselineRate float64 `json:"baseline_rate"`
+	TunedRate    float64 `json:"tuned_rate"`
+	// Session is the ID of the session that committed the entry.
+	Session int `json:"session"`
+}
+
+// StoreConfig tunes the reuse policy.
+type StoreConfig struct {
+	// MaxReuse is how many sessions may warm-start from one committed
+	// entry before it is considered stale and evicted, forcing the next
+	// session to re-profile from scratch (default 16).
+	MaxReuse int
+}
+
+// StoreCounters are the store's cumulative policy counters.
+type StoreCounters struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Stale         uint64 `json:"stale"`
+	Invalidations uint64 `json:"invalidations"`
+	Commits       uint64 `json:"commits"`
+}
+
+type storeEntry struct {
+	Entry
+	gen  uint64 // generation, bumped by every Commit
+	uses int    // warm starts served since the last Commit
+}
+
+// Store is a concurrency-safe profile cache shared by every session of a
+// fleet (and shareable across fleets on the same machine type).
+type Store struct {
+	cfg StoreConfig
+
+	mu       sync.Mutex
+	entries  map[Key]*storeEntry
+	gen      uint64
+	counters StoreCounters
+}
+
+// NewStore builds an empty store; zero-value config fields get defaults.
+func NewStore(cfg StoreConfig) *Store {
+	if cfg.MaxReuse <= 0 {
+		cfg.MaxReuse = 16
+	}
+	return &Store{cfg: cfg, entries: make(map[Key]*storeEntry)}
+}
+
+// Lookup returns the cached profile for a key, counting a hit, or reports a
+// miss. An entry that has served MaxReuse warm starts is stale: it is
+// evicted, counted, and reported as a miss so the caller re-profiles. The
+// returned generation must be passed to Invalidate so a racing Commit from
+// a concurrent session is not clobbered.
+func (s *Store) Lookup(k Key) (Entry, uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[k]
+	if !ok {
+		s.counters.Misses++
+		return Entry{}, 0, false
+	}
+	if e.uses >= s.cfg.MaxReuse {
+		delete(s.entries, k)
+		s.counters.Stale++
+		s.counters.Misses++
+		return Entry{}, 0, false
+	}
+	e.uses++
+	s.counters.Hits++
+	return e.Entry, e.gen, true
+}
+
+// Commit installs (or refreshes) the profile for a key, resetting its reuse
+// budget, and returns the new generation.
+func (s *Store) Commit(k Key, e Entry) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gen++
+	s.counters.Commits++
+	s.entries[k] = &storeEntry{Entry: e, gen: s.gen}
+	return s.gen
+}
+
+// Invalidate drops the entry for a key if it is still the generation the
+// caller warm-started from; a stale generation (another session already
+// committed a fresher profile) is a no-op. Reports whether it dropped.
+func (s *Store) Invalidate(k Key, gen uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[k]
+	if !ok || e.gen != gen {
+		return false
+	}
+	delete(s.entries, k)
+	s.counters.Invalidations++
+	return true
+}
+
+// Len reports the number of live entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Counters returns a snapshot of the policy counters.
+func (s *Store) Counters() StoreCounters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters
+}

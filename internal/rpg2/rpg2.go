@@ -22,6 +22,7 @@
 package rpg2
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -76,6 +77,28 @@ type Config struct {
 	// LinearSearch replaces the three-stage search with a fixed-stride
 	// linear scan (ablation).
 	LinearSearch bool
+	// SeedFunc and SeedCandidates warm-start the controller from a
+	// previously profiled session on a matching (benchmark, input,
+	// machine): the candidate prefetch sites are taken as given instead
+	// of being mined from this session's PEBS samples, and the MinSamples
+	// activation gate is waived (the cached profile is the activation
+	// evidence). Profiling still runs — shortened via ProfileSeconds if
+	// the caller wants — because the baseline IPC and miss-site
+	// retirement rate must be measured on *this* process. The fleet's
+	// profile store is the intended caller.
+	SeedFunc       string
+	SeedCandidates []int
+	// SeedDistance starts the distance search at a previously tuned
+	// distance instead of a random one. The search then opens with a
+	// narrow ±2 gradient span and terminates immediately if the seed is a
+	// local optimum, so a good seed converges in as few as three probes.
+	SeedDistance int
+	// OnPhase, when non-nil, is invoked at each controller phase
+	// transition with the phase name ("profile", "rewrite", "insert",
+	// "tune", "detach") and the session-relative simulated time in
+	// seconds. The fleet's event journal listens here; the hook must not
+	// touch the target process.
+	OnPhase func(phase string, seconds float64)
 	// AutoPhaseDetect ignores the benchmark's explicit end-of-init signal
 	// and instead detects the transition to the main phase from the IPC
 	// trace: profiling starts once several consecutive short windows
@@ -148,6 +171,25 @@ func (o Outcome) String() string {
 		return "target-exited"
 	}
 	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// MarshalJSON encodes the outcome as its string name, so session reports
+// serialise readably (cmd/rpg2 -json and the fleet journal share this).
+func (o Outcome) MarshalJSON() ([]byte, error) { return json.Marshal(o.String()) }
+
+// UnmarshalJSON accepts the string names produced by MarshalJSON.
+func (o *Outcome) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for _, c := range []Outcome{NotActivated, Tuned, RolledBack, TargetExited} {
+		if c.String() == s {
+			*o = c
+			return nil
+		}
+	}
+	return fmt.Errorf("rpg2: unknown outcome %q", s)
 }
 
 // TimelinePoint is one performance observation on the controller's
@@ -268,8 +310,15 @@ func (c *Controller) Optimize(p *proc.Process) (*Report, error) {
 			Phase:   phase,
 		})
 	}
+	phase := func(name string) {
+		if c.cfg.OnPhase != nil {
+			c.cfg.OnPhase(name, c.mach.ToSeconds(p.Clock()-start))
+		}
+	}
+	defer phase("detach")
 
 	// ---- Phase 1: profiling ----------------------------------------
+	phase("profile")
 	sampler := perf.NewSampler(c.mach.PEBSPeriod, 1<<16)
 	sampler.Attach(p)
 	profWindows := int(c.cfg.ProfileSeconds/c.cfg.WindowSeconds + 0.5)
@@ -288,15 +337,23 @@ func (c *Controller) Optimize(p *proc.Process) (*Report, error) {
 	if exited, err := c.checkTarget(p, r); exited {
 		return r, err
 	}
-	if r.Samples < c.cfg.MinSamples {
+	seeded := c.cfg.SeedFunc != "" && len(c.cfg.SeedCandidates) > 0
+	if r.Samples < c.cfg.MinSamples && !seeded {
 		r.Outcome = NotActivated
 		return r, nil
 	}
 
 	// Candidate filtering: hottest function, sites with >=10% of its
-	// misses (§3.1).
-	sites := perf.AggregateByPC(sampler.Records(), p)
-	fnName, candidates := c.pickCandidates(sites)
+	// misses (§3.1) — or, warm-started, the cached sites from a previous
+	// session on a matching workload.
+	var fnName string
+	var candidates []int
+	if seeded {
+		fnName, candidates = c.cfg.SeedFunc, c.cfg.SeedCandidates
+	} else {
+		sites := perf.AggregateByPC(sampler.Records(), p)
+		fnName, candidates = c.pickCandidates(sites)
+	}
 	if fnName == "" {
 		r.Outcome = NotActivated
 		return r, nil
@@ -314,7 +371,12 @@ func (c *Controller) Optimize(p *proc.Process) (*Report, error) {
 	record("profile", w.IPC, w.Rate)
 
 	// ---- Phase 2: code analysis & generation (runs in background) --
-	r.InitialDistance = 1 + c.rng.Intn(c.cfg.MaxInitialDistance)
+	phase("rewrite")
+	if c.cfg.SeedDistance > 0 {
+		r.InitialDistance = c.clampDistance(c.cfg.SeedDistance)
+	} else {
+		r.InitialDistance = 1 + c.rng.Intn(c.cfg.MaxInitialDistance)
+	}
 	bin := c.snapshotBinary(p)
 	p.Run(uint64(c.mach.BOLTCycles)) // the target runs while BOLT works
 	r.Costs.BOLTSeconds = c.mach.ToSeconds(uint64(c.mach.BOLTCycles))
@@ -330,6 +392,7 @@ func (c *Controller) Optimize(p *proc.Process) (*Report, error) {
 	}
 
 	// ---- Phase 3: runtime code insertion + OSR ----------------------
+	phase("insert")
 	ins, err := insertCode(tr, agent, rw)
 	if err != nil {
 		return r, fmt.Errorf("rpg2: code insertion: %w", err)
@@ -352,6 +415,7 @@ func (c *Controller) Optimize(p *proc.Process) (*Report, error) {
 	}
 
 	// ---- Phase 4: monitoring and tuning -----------------------------
+	phase("tune")
 	best, err := c.tune(tr, agent, ins, r, record)
 	r.BestIPC = best.ipc
 	r.BestRate = best.rate

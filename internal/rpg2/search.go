@@ -151,16 +151,25 @@ func (c *Controller) tune(tr *proc.Tracer, agent *proc.LibPG2, ins *insertion, r
 		return best, nil
 	}
 
-	// ---- Stage 1: gradient at r-5, r, r+5 ---------------------------
+	// ---- Stage 1: gradient at r-span, r, r+span ---------------------
+	// Cold sessions probe ±5 around the random start (§3.4). A session
+	// warm-started from a cached tuned distance probes a narrow ±2 span
+	// instead, and stops after just these three measurements when the
+	// seed is still a local optimum — the profile store's fast path.
 	r0 := r.InitialDistance
-	lo := c.clampDistance(r0 - 5)
-	hi := c.clampDistance(r0 + 5)
+	span := 5
+	if c.cfg.SeedDistance > 0 {
+		span = 2
+	}
+	lo := c.clampDistance(r0 - span)
+	hi := c.clampDistance(r0 + span)
 	mLo, err := measure(lo)
 	if err != nil || !alive() {
 		c.finishCosts(r)
 		return best, err
 	}
-	if _, err := measure(r0); err != nil || !alive() {
+	mMid, err := measure(r0)
+	if err != nil || !alive() {
 		c.finishCosts(r)
 		return best, err
 	}
@@ -169,6 +178,17 @@ func (c *Controller) tune(tr *proc.Tracer, agent *proc.LibPG2, ins *insertion, r
 		c.finishCosts(r)
 		return best, err
 	}
+	if c.cfg.SeedDistance > 0 {
+		// Accept the seed as a local optimum if neither neighbour beats
+		// it by more than the measurement noise — otherwise a ±1σ
+		// fluctuation sends a warm session on a full walk and the
+		// store's probe savings evaporate.
+		guard := 1 - 2*c.mach.IPCNoise
+		if mMid.metric >= guard*mLo.metric && mMid.metric >= guard*mHi.metric {
+			c.finishCosts(r)
+			return best, nil
+		}
+	}
 	dir := 1
 	if mLo.metric > mHi.metric {
 		dir = -1
@@ -176,7 +196,7 @@ func (c *Controller) tune(tr *proc.Tracer, agent *proc.LibPG2, ins *insertion, r
 
 	// ---- Stage 2: doubling jumps in the chosen direction ------------
 	prev := r.explored[r0]
-	jump := 5
+	jump := span
 	bracketLo, bracketHi := -1, -1
 	for alive() {
 		next := prev.d + dir*jump

@@ -30,6 +30,7 @@ import (
 	"rpg2/internal/baselines"
 	"rpg2/internal/cpu"
 	"rpg2/internal/experiments"
+	"rpg2/internal/fleet"
 	"rpg2/internal/graphs"
 	"rpg2/internal/machine"
 	"rpg2/internal/perf"
@@ -171,3 +172,37 @@ func QuickExperiments() ExperimentOptions { return experiments.QuickOptions() }
 
 // NewExperiments builds the harness.
 func NewExperiments(opts ExperimentOptions) *Experiments { return experiments.NewRunner(opts) }
+
+// FleetConfig tunes a Fleet; Machine is required, everything else has
+// defaults (Workers: GOMAXPROCS).
+type FleetConfig = fleet.Config
+
+// Fleet runs RPG² as a long-lived service over many target processes
+// concurrently: an admission queue feeds a bounded worker pool, each
+// session walks a lifecycle state machine, and a shared profile store
+// warm-starts sessions on workloads the fleet has tuned before.
+type Fleet = fleet.Fleet
+
+// FleetSession is one tracked optimization within a fleet.
+type FleetSession = fleet.Session
+
+// SessionSpec names one unit of fleet work.
+type SessionSpec = fleet.SessionSpec
+
+// FleetSnapshot is a point-in-time view of fleet-wide metrics.
+type FleetSnapshot = fleet.Snapshot
+
+// FleetEvent is one record on a fleet's journal.
+type FleetEvent = fleet.Event
+
+// ProfileStore caches candidate sites and tuned distances per (benchmark,
+// input, machine), with bounded reuse and regression-driven invalidation.
+type ProfileStore = fleet.Store
+
+// NewProfileStore builds an empty profile store with the default reuse
+// policy, shareable across fleets via FleetConfig.Store.
+func NewProfileStore() *ProfileStore { return fleet.NewStore(fleet.StoreConfig{}) }
+
+// NewFleet starts a fleet service; its worker pool is live immediately.
+// Submit sessions (or batch them with Run), Drain, read Snapshot, Close.
+func NewFleet(cfg FleetConfig) *Fleet { return fleet.New(cfg) }
