@@ -1,17 +1,23 @@
 // Command rpg2-experiments regenerates the tables and figures of the RPG²
-// paper's evaluation section on the simulated machines.
+// paper's evaluation section on the simulated machines. Every measured cell
+// runs as a session of an internal fleet, so each run can also emit the
+// fleet's event journal and metrics snapshot.
 //
 // Usage:
 //
-//	rpg2-experiments -all            # everything (takes a while)
-//	rpg2-experiments -fig 7          # one figure
-//	rpg2-experiments -table 3 -quick # one table at reduced scale
+//	rpg2-experiments -all              # everything (takes a while)
+//	rpg2-experiments -fig 7            # one figure
+//	rpg2-experiments -table 3 -quick   # one table at reduced scale
+//	rpg2-experiments -smoke -fig 7 -bench pr,is -journal run.ndjson -metrics -
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"rpg2"
 )
@@ -21,27 +27,92 @@ func main() {
 	table := flag.Int("table", 0, "regenerate one table (1,2,3)")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	quick := flag.Bool("quick", false, "reduced scale: fewer inputs, shorter runs")
+	smoke := flag.Bool("smoke", false, "smallest scale: two inputs, one trial (CI smoke)")
 	trials := flag.Int("trials", 0, "override RPG² trials per input")
+	parallel := flag.Int("parallel", 0, "fleet worker pool size (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 0, "override the root seed (default per configuration)")
+	warm := flag.Bool("warm", false, "let Figure 7's RPG² trials warm-start from the profile store")
+	benches := flag.String("bench", "", "comma-separated benchmark subset for figures 7/8 and table 3")
+	journal := flag.String("journal", "", "write the fleet event journal as JSON lines to this file (- for stdout)")
+	metrics := flag.String("metrics", "", "write the fleet metrics snapshot as JSON to this file (- for stdout)")
 	flag.Parse()
 
 	opts := rpg2.DefaultExperiments()
 	if *quick {
 		opts = rpg2.QuickExperiments()
 	}
+	if *smoke {
+		opts = rpg2.SmokeExperiments()
+	}
 	if *trials > 0 {
 		opts.Trials = *trials
 	}
-	r := rpg2.NewExperiments(opts)
+	if *parallel > 0 {
+		opts.Parallelism = *parallel
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+	opts.WarmStart = *warm
 
-	if err := run(r, *fig, *table, *all); err != nil {
+	var benchList []string
+	if *benches != "" {
+		for _, b := range strings.Split(*benches, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				benchList = append(benchList, b)
+			}
+		}
+	}
+
+	r := rpg2.NewExperiments(opts)
+	defer r.Close()
+
+	err := run(r, *fig, *table, *all, benchList)
+	if err == nil {
+		err = dump(r, *journal, *metrics)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rpg2-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-type renderer interface{ Render(w *os.File) }
+// dump writes the fleet observability outputs requested by -journal and
+// -metrics. A "-" destination means stdout.
+func dump(r *rpg2.Experiments, journal, metrics string) error {
+	to := func(dest string, write func(io.Writer) error) error {
+		if dest == "-" {
+			return write(os.Stdout)
+		}
+		f, err := os.Create(dest)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if journal != "" {
+		if err := to(journal, r.Journal().WriteJSON); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+	}
+	if metrics != "" {
+		err := to(metrics, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(r.Snapshot())
+		})
+		if err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+	}
+	return nil
+}
 
-func run(r *rpg2.Experiments, fig, table int, all bool) error {
+func run(r *rpg2.Experiments, fig, table int, all bool, benches []string) error {
 	out := os.Stdout
 	did := false
 	runFig := func(n int) error {
@@ -66,13 +137,13 @@ func run(r *rpg2.Experiments, fig, table int, all bool) error {
 			}
 			res.Render(out)
 		case 7:
-			res, err := r.Fig7(nil)
+			res, err := r.Fig7(benches)
 			if err != nil {
 				return err
 			}
 			res.Render(out)
 		case 8:
-			res, err := r.Fig8(nil)
+			res, err := r.Fig8(benches)
 			if err != nil {
 				return err
 			}
@@ -128,7 +199,7 @@ func run(r *rpg2.Experiments, fig, table int, all bool) error {
 			}
 			res.Render(out)
 		case 3:
-			res, err := r.Table3(nil)
+			res, err := r.Table3(benches)
 			if err != nil {
 				return err
 			}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,10 +30,11 @@ func main() {
 	benches := flag.String("bench", "all", "comma-separated benchmarks to draw from, or all")
 	pairs := flag.Int("pairs", 8, "limit of distinct (benchmark, input) pairs (0 = no limit)")
 	journal := flag.Bool("journal", false, "dump the event journal as JSON lines after the snapshot")
+	metrics := flag.String("metrics", "", "also write the metrics snapshot as JSON to this file (- for stdout)")
 	nostore := flag.Bool("no-store", false, "disable the profile store (every session cold)")
 	flag.Parse()
 
-	if err := run(*machineName, *sessions, *workers, *seconds, *seed, *benches, *pairs, *journal, *nostore); err != nil {
+	if err := run(*machineName, *sessions, *workers, *seconds, *seed, *benches, *pairs, *journal, *metrics, *nostore); err != nil {
 		fmt.Fprintln(os.Stderr, "rpg2-fleet:", err)
 		os.Exit(1)
 	}
@@ -83,7 +85,7 @@ func catalogue(benches string, limit int) ([]rpg2.SessionSpec, error) {
 }
 
 func run(machineName string, sessions, workers int, seconds float64, seed int64,
-	benches string, pairs int, journal, nostore bool) error {
+	benches string, pairs int, journal bool, metrics string, nostore bool) error {
 
 	m, ok := rpg2.MachineByName(machineName)
 	if !ok {
@@ -125,6 +127,22 @@ func run(machineName string, sessions, workers int, seconds float64, seed int64,
 	if journal {
 		fmt.Println()
 		if err := f.Journal().WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if metrics != "" {
+		out := os.Stdout
+		if metrics != "-" {
+			file, err := os.Create(metrics)
+			if err != nil {
+				return err
+			}
+			defer file.Close()
+			out = file
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(f.Snapshot()); err != nil {
 			return err
 		}
 	}

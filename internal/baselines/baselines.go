@@ -193,16 +193,22 @@ func (s *Sweep) Best() (int, float64) {
 	return s.Distances[bi], s.Speedup[bi]
 }
 
-// RunSweep measures the true steady-state speedup of every distance in the
-// config for one workload on one machine. The same prefetched process is
-// reused across distances (only the immediates change), exactly as the
-// offline configuration of §4.5 explores the space.
+// RunSweep builds the workload and calls RunSweepWorkload.
 func RunSweep(bench, input string, m machine.Machine, cfg SweepConfig) (*Sweep, error) {
-	cfg = cfg.withDefaults()
 	w, err := workloads.Build(bench, input, 1<<30)
 	if err != nil {
 		return nil, err
 	}
+	return RunSweepWorkload(w, m, cfg)
+}
+
+// RunSweepWorkload measures the true steady-state speedup of every distance
+// in the config for one pre-built workload on one machine. The same
+// prefetched process is reused across distances (only the immediates
+// change), exactly as the offline configuration of §4.5 explores the space.
+func RunSweepWorkload(w *workloads.Workload, m machine.Machine, cfg SweepConfig) (*Sweep, error) {
+	cfg = cfg.withDefaults()
+	bench, input := w.Name, w.InputName
 	candidates, err := ProfileCandidates(w, m, 1.0)
 	if err != nil {
 		return nil, err
@@ -281,6 +287,12 @@ func APTGETDistance(bench, input string, m machine.Machine) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	return APTGETDistanceWorkload(w, m)
+}
+
+// APTGETDistanceWorkload is APTGETDistance over a pre-built workload.
+func APTGETDistanceWorkload(w *workloads.Workload, m machine.Machine) (int, error) {
+	bench, input := w.Name, w.InputName
 	candidates, err := ProfileCandidates(w, m, 2.0)
 	if err != nil {
 		return 0, err

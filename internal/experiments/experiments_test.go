@@ -4,41 +4,13 @@ import (
 	"strings"
 	"testing"
 
-	"rpg2/internal/baselines"
 	"rpg2/internal/experiments"
-	"rpg2/internal/graphs"
 	"rpg2/internal/machine"
 )
 
-// tinyOptions shrinks everything so the full pipeline runs in seconds.
-func tinyOptions() experiments.Options {
-	o := experiments.QuickOptions()
-	o.CRONOInputs = []graphs.Input{
-		mustInput("soc-alpha"),
-		mustInput("as20000102-like"),
-	}
-	o.SynthInputs = []graphs.Input{mustInput("synth-small"), mustInput("synth-u1")}
-	o.RunSeconds = 15
-	o.Trials = 1
-	o.Sweep = baselines.SweepConfig{
-		Distances:     []int{1, 4, 8, 16, 32, 64},
-		WarmSeconds:   0.1,
-		WindowSeconds: 0.25,
-		Seed:          1,
-	}
-	return o
-}
-
-func mustInput(name string) graphs.Input {
-	in, ok := graphs.FindInput(name)
-	if !ok {
-		panic("unknown input " + name)
-	}
-	return in
-}
-
 func TestFig7QuickPipeline(t *testing.T) {
-	r := experiments.NewRunner(tinyOptions())
+	r := experiments.NewRunner(experiments.SmokeOptions())
+	defer r.Close()
 	res, err := r.Fig7([]string{"pr", "is"})
 	if err != nil {
 		t.Fatalf("Fig7: %v", err)
@@ -68,12 +40,27 @@ func TestFig7QuickPipeline(t *testing.T) {
 			t.Errorf("robustness violated: rpg2 %.2fx on LLC-resident input (%s)", p.Speedup["rpg2"], p.Machine)
 		}
 	}
+	// Every cell flowed through the fleet: the journal saw each job kind
+	// and the metrics snapshot accounts for them.
+	snap := r.Snapshot()
+	for _, kind := range []string{"optimize", "baseline", "static", "sweep", "profile", "apt-get"} {
+		if snap.Kinds[kind] == 0 {
+			t.Errorf("no %q sessions in fleet snapshot: %+v", kind, snap.Kinds)
+		}
+	}
+	if len(r.Journal().Events()) == 0 {
+		t.Error("fleet journal is empty after Fig7")
+	}
+	if snap.Failed > 0 {
+		t.Errorf("%d fleet sessions failed", snap.Failed)
+	}
 }
 
 func TestTable2Latencies(t *testing.T) {
-	o := tinyOptions()
+	o := experiments.SmokeOptions()
 	o.Machines = []machine.Machine{machine.CascadeLake()}
 	r := experiments.NewRunner(o)
+	defer r.Close()
 	res, err := r.Table2()
 	if err != nil {
 		t.Fatalf("Table2: %v", err)
@@ -95,8 +82,8 @@ func TestTable2Latencies(t *testing.T) {
 }
 
 func TestTable1Categories(t *testing.T) {
-	o := tinyOptions()
-	r := experiments.NewRunner(o)
+	r := experiments.NewRunner(experiments.SmokeOptions())
+	defer r.Close()
 	res, err := r.Table1()
 	if err != nil {
 		t.Fatalf("Table1: %v", err)
@@ -116,9 +103,10 @@ func TestTable1Categories(t *testing.T) {
 }
 
 func TestFig13AsymmetricGrid(t *testing.T) {
-	o := tinyOptions()
+	o := experiments.SmokeOptions()
 	o.Machines = []machine.Machine{machine.CascadeLake()}
 	r := experiments.NewRunner(o)
+	defer r.Close()
 	res, err := r.Fig13("soc-alpha")
 	if err != nil {
 		t.Fatalf("Fig13: %v", err)

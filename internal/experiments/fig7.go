@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"sync"
 
+	"rpg2/internal/fleet"
 	"rpg2/internal/machine"
 	"rpg2/internal/rpg2"
 	"rpg2/internal/stats"
@@ -43,7 +43,11 @@ type Fig7Result struct {
 	Pairs []*PairResult
 }
 
-// Fig7 runs the full scheme comparison of Figure 7.
+// Fig7 runs the full scheme comparison of Figure 7. Every measured cell —
+// the original baseline, each RPG² trial, and the offline/APT-GET/manual
+// statics — is one fleet session; the shared precomputations (sweeps,
+// profiles, APT-GET distances) run through the fleet first, then the whole
+// measured batch is submitted at once.
 func (r *Runner) Fig7(benches []string) (*Fig7Result, error) {
 	if len(benches) == 0 {
 		benches = []string{"pr", "bfs", "sssp", "bc", "is", "cg", "randacc"}
@@ -62,40 +66,88 @@ func (r *Runner) Fig7(benches []string) (*Fig7Result, error) {
 	}
 	res := &Fig7Result{Pairs: make([]*PairResult, len(jobs))}
 
-	// APT-GET distances are per (bench, machine); compute them up front
-	// so parallel cells share them.
-	aptget := make(map[string]int)
-	var agMu sync.Mutex
-	r.parDo(len(jobs), func(i int) {
-		j := jobs[i]
-		key := j.bench + "|" + j.m.Name
-		agMu.Lock()
-		_, done := aptget[key]
-		agMu.Unlock()
-		if done {
-			return
-		}
-		d, err := r.aptgetDistance(j.bench, j.m)
-		agMu.Lock()
-		if _, dup := aptget[key]; !dup && err == nil {
-			aptget[key] = d
-		}
-		agMu.Unlock()
-	})
+	cells := make([]cellRef, len(jobs))
+	for i, j := range jobs {
+		cells[i] = cellRef{j.bench, j.input, j.m}
+	}
+	r.prefetchAPTGET(benches, r.opts.Machines)
+	r.prefetchSweeps(cells)
+	r.prefetchCandidates(cells)
+	thaw := r.warmStart(cells)
+	defer thaw()
 
-	r.parDo(len(jobs), func(i int) {
-		j := jobs[i]
+	// The measured batch: a plan per cell indexes into one spec list so
+	// submission order (and thus every seed) is independent of worker
+	// count.
+	type plan struct {
+		orig          int
+		rpg2          []int
+		off, apt, man int
+	}
+	var specs []fleet.SessionSpec
+	add := func(spec fleet.SessionSpec) int {
+		spec.RunSeconds = r.opts.RunSeconds
+		spec.TailSeconds = 1.0
+		specs = append(specs, spec)
+		return len(specs) - 1
+	}
+	plans := make([]plan, len(jobs))
+	for i, j := range jobs {
+		p := plan{off: -1, apt: -1, man: -1}
+		p.orig = add(fleet.SessionSpec{
+			Bench: j.bench, Input: j.input, Kind: fleet.BaselineJob,
+			Machine: r.mptr(j.m),
+		})
+		for t := 0; t < r.opts.Trials; t++ {
+			p.rpg2 = append(p.rpg2, add(fleet.SessionSpec{
+				Bench: j.bench, Input: j.input, Machine: r.mptr(j.m),
+				Seed: r.opts.Seed + int64(1000*i+t),
+				Cold: !r.opts.WarmStart,
+			}))
+		}
+		cand, candErr := r.candidates(j.bench, j.input, j.m)
+		static := func(d int) int {
+			if candErr != nil {
+				return -1
+			}
+			return add(fleet.SessionSpec{
+				Bench: j.bench, Input: j.input, Kind: fleet.StaticJob,
+				Machine: r.mptr(j.m), Distance: d, Candidates: cand,
+			})
+		}
+		// Offline: this input's own best distance.
+		if sw, err := r.sweep(j.bench, j.input, j.m); err == nil {
+			d, _ := sw.Best()
+			p.off = static(d)
+		}
+		// APT-GET: one distance per benchmark/machine.
+		if d, err := r.aptgetDistance(j.bench, j.m); err == nil {
+			p.apt = static(d)
+		}
+		// Manual (AJ benchmarks only).
+		if md := manualDistance(j.bench); md > 0 {
+			p.man = static(md)
+		}
+		plans[i] = p
+	}
+	sessions, err := r.runBatch(specs)
+	if err != nil {
+		return nil, err
+	}
+
+	for i, j := range jobs {
 		pr := &PairResult{
 			Bench: j.bench, Input: j.input, Machine: j.m.Name,
 			Speedup:      make(map[string]float64),
 			RPG2Outcomes: make(map[rpg2.Outcome]int),
 		}
 		res.Pairs[i] = pr
+		p := plans[i]
 
-		orig, err := r.runOriginal(j.bench, j.input, j.m)
+		orig, err := resultFrom(sessions[p.orig])
 		if err != nil || orig.Work == 0 {
 			pr.Err = fmt.Errorf("original run: %v (work=%d)", err, orig.Work)
-			return
+			continue
 		}
 		pr.Speedup[SchemeOriginal] = 1.0
 		speedup := func(rr runResult) float64 { return float64(rr.Work) / float64(orig.Work) }
@@ -103,11 +155,11 @@ func (r *Runner) Fig7(benches []string) (*Fig7Result, error) {
 		// RPG² trials.
 		var activeSum float64
 		activeN := 0
-		for t := 0; t < r.opts.Trials; t++ {
-			rr, err := r.runRPG2(j.bench, j.input, j.m, rpg2.Config{Seed: r.opts.Seed + int64(1000*i+t)})
+		for t, si := range p.rpg2 {
+			rr, err := resultFrom(sessions[si])
 			if err != nil {
 				pr.Err = fmt.Errorf("rpg2 trial %d: %w", t, err)
-				return
+				break
 			}
 			s := speedup(rr)
 			pr.RPG2Trials = append(pr.RPG2Trials, s)
@@ -120,34 +172,25 @@ func (r *Runner) Fig7(benches []string) (*Fig7Result, error) {
 				pr.FinalDistances = append(pr.FinalDistances, rr.Report.FinalDistance)
 			}
 		}
+		if pr.Err != nil {
+			continue
+		}
 		pr.Speedup[SchemeRPG2] = stats.Mean(pr.RPG2Trials)
 		if activeN > 0 {
 			pr.Speedup[SchemeActiveOnly] = activeSum / float64(activeN)
 		}
-
-		// Offline: this input's own best distance.
-		if sw, err := r.sweep(j.bench, j.input, j.m); err == nil {
-			d, _ := sw.Best()
-			if rr, err := r.runStatic(j.bench, j.input, j.m, d); err == nil {
-				pr.Speedup[SchemeOffline] = speedup(rr)
+		record := func(scheme string, si int) {
+			if si < 0 {
+				return
+			}
+			if rr, err := resultFrom(sessions[si]); err == nil {
+				pr.Speedup[scheme] = speedup(rr)
 			}
 		}
-		// APT-GET: one distance per benchmark/machine.
-		agMu.Lock()
-		d, ok := aptget[j.bench+"|"+j.m.Name]
-		agMu.Unlock()
-		if ok {
-			if rr, err := r.runStatic(j.bench, j.input, j.m, d); err == nil {
-				pr.Speedup[SchemeAPTGET] = speedup(rr)
-			}
-		}
-		// Manual (AJ benchmarks only).
-		if md := manualDistance(j.bench); md > 0 {
-			if rr, err := r.runStatic(j.bench, j.input, j.m, md); err == nil {
-				pr.Speedup[SchemeManual] = speedup(rr)
-			}
-		}
-	})
+		record(SchemeOffline, p.off)
+		record(SchemeAPTGET, p.apt)
+		record(SchemeManual, p.man)
+	}
 	return res, nil
 }
 

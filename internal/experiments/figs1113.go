@@ -5,49 +5,11 @@ import (
 	"io"
 
 	"rpg2/internal/baselines"
-	"rpg2/internal/machine"
+	"rpg2/internal/fleet"
 	"rpg2/internal/perf"
 	"rpg2/internal/rpg2"
 	"rpg2/internal/stats"
-	"rpg2/internal/workloads"
 )
-
-// runRPG2WithTail runs one RPG² session and extends its timeline with
-// post-detach measurement windows, the raw material of Figure 10.
-func (r *Runner) runRPG2WithTail(bench, input string, m machine.Machine, cfg rpg2.Config) (*SessionTimeline, error) {
-	w, err := workloads.Build(bench, input, 1<<30)
-	if err != nil {
-		return nil, err
-	}
-	p, err := m.Launch(w.Bin, w.Setup)
-	if err != nil {
-		return nil, err
-	}
-	watch := perf.AttachWatch(p, []int{w.WorkPC})
-	ctl := rpg2.New(m, cfg)
-	rep, err := ctl.Optimize(p)
-	if err != nil {
-		return nil, err
-	}
-	st := &SessionTimeline{
-		Bench: bench, Input: input, Machine: m.Name,
-		Outcome:       rep.Outcome,
-		FinalDistance: rep.FinalDistance,
-		Points:        rep.Timeline,
-	}
-	// Post-detach: half-second windows out to 15 simulated seconds.
-	base := 0.0
-	if n := len(rep.Timeline); n > 0 {
-		base = rep.Timeline[n-1].Seconds
-	}
-	for t := 0.0; t < 6.0; t += 0.5 {
-		win := perf.MeasureWatch(p, watch, m.Seconds(0.5), nil, 0)
-		st.Points = append(st.Points, rpg2.TimelinePoint{
-			Seconds: base + t + 0.5, IPC: win.IPC, Rate: win.Rate, Phase: "after",
-		})
-	}
-	return st, nil
-}
 
 // Fig11Point relates one input's speedup to its LLC MPKI change.
 type Fig11Point struct {
@@ -66,22 +28,39 @@ type Fig11Result struct {
 }
 
 // Fig11 reproduces Figure 11: for every pr input, RPG²'s speedup against
-// the reduction in LLC misses per kilo-instruction.
+// the reduction in LLC misses per kilo-instruction. Each input is one
+// (baseline, optimize) pair of fleet sessions.
 func (r *Runner) Fig11() (*Fig11Result, error) {
 	m := r.opts.Machines[0]
 	inputs := r.inputsFor("pr")
 	out := &Fig11Result{Machine: m.Name, Points: make([]Fig11Point, len(inputs))}
-	r.parDo(len(inputs), func(i int) {
-		in := inputs[i]
-		orig, err := r.runOriginal("pr", in, m)
+	var specs []fleet.SessionSpec
+	for i, in := range inputs {
+		specs = append(specs, fleet.SessionSpec{
+			Bench: "pr", Input: in, Kind: fleet.BaselineJob,
+			Machine:    r.mptr(m),
+			RunSeconds: r.opts.RunSeconds, TailSeconds: 1.0,
+		})
+		specs = append(specs, fleet.SessionSpec{
+			Bench: "pr", Input: in, Machine: r.mptr(m),
+			Seed: r.opts.Seed + int64(i), Cold: true,
+			RunSeconds: r.opts.RunSeconds, TailSeconds: 1.0,
+		})
+	}
+	sessions, err := r.runBatch(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, in := range inputs {
+		orig, err := resultFrom(sessions[2*i])
 		if err != nil || orig.Work == 0 {
 			out.Points[i] = Fig11Point{Input: in}
-			return
+			continue
 		}
-		rr, err := r.runRPG2("pr", in, m, rpg2.Config{Seed: r.opts.Seed + int64(i)})
+		rr, err := resultFrom(sessions[2*i+1])
 		if err != nil {
 			out.Points[i] = Fig11Point{Input: in}
-			return
+			continue
 		}
 		out.Points[i] = Fig11Point{
 			Input:       in,
@@ -91,7 +70,7 @@ func (r *Runner) Fig11() (*Fig11Result, error) {
 			MPKIReduced: orig.TailMPKI - rr.TailMPKI,
 			Activated:   rr.Report.Outcome != rpg2.NotActivated,
 		}
-	})
+	}
 	return out, nil
 }
 
@@ -157,29 +136,37 @@ type Fig12Result struct {
 func (r *Runner) Fig12() (*Fig12Result, error) {
 	m := r.opts.Machines[0]
 	inputs := r.inputsFor("pr")
-	overheads := make([]float64, len(inputs))
-	valid := make([]bool, len(inputs))
-	r.parDo(len(inputs), func(i int) {
-		in := inputs[i]
-		orig, err := r.runOriginal("pr", in, m)
+	var specs []fleet.SessionSpec
+	for i, in := range inputs {
+		specs = append(specs, fleet.SessionSpec{
+			Bench: "pr", Input: in, Kind: fleet.BaselineJob,
+			Machine:    r.mptr(m),
+			RunSeconds: r.opts.RunSeconds, TailSeconds: 1.0,
+		})
+		specs = append(specs, fleet.SessionSpec{
+			Bench: "pr", Input: in, Machine: r.mptr(m),
+			Seed: r.opts.Seed + int64(3*i), Cold: true,
+			RunSeconds: r.opts.RunSeconds, TailSeconds: 1.0,
+		})
+	}
+	sessions, err := r.runBatch(specs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig12Result{Machine: m.Name}
+	for i := range inputs {
+		orig, err := resultFrom(sessions[2*i])
 		if err != nil || orig.TailInstrPer == 0 {
-			return
+			continue
 		}
-		rr, err := r.runRPG2("pr", in, m, rpg2.Config{Seed: r.opts.Seed + int64(3*i)})
+		rr, err := resultFrom(sessions[2*i+1])
 		if err != nil || rr.TailInstrPer == 0 {
-			return
+			continue
 		}
 		if rr.Report.Outcome != rpg2.Tuned {
-			return // no kernel left in the code
+			continue // no kernel left in the code
 		}
-		overheads[i] = rr.TailInstrPer/orig.TailInstrPer - 1
-		valid[i] = true
-	})
-	out := &Fig12Result{Machine: m.Name}
-	for i, ok := range valid {
-		if ok {
-			out.Overheads = append(out.Overheads, overheads[i])
-		}
+		out.Overheads = append(out.Overheads, rr.TailInstrPer/orig.TailInstrPer-1)
 	}
 	out.Edges = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.75}
 	out.Counts = stats.Histogram(out.Overheads, out.Edges)
@@ -206,12 +193,15 @@ type Fig13Result struct {
 // Fig13 reproduces Figure 13: sweep sssp's two prefetch distances
 // independently on one input and report the speedup surface. RPG² itself
 // keeps distances symmetric; this shows what asymmetry is worth (§4.5).
+// The grid mutates one process's patch points in place, so it stays a
+// sequential procedure; the workload and candidates still come from the
+// fleet's build cache and profile jobs.
 func (r *Runner) Fig13(input string) (*Fig13Result, error) {
 	m := r.opts.Machines[0]
 	if input == "" {
 		input = r.inputsFor("sssp")[0]
 	}
-	w, err := workloads.Build("sssp", input, 1<<30)
+	w, err := r.fleet.Builds().Build("sssp", input, 1<<30)
 	if err != nil {
 		return nil, err
 	}

@@ -29,6 +29,21 @@ func curveFrom(s *baselines.Sweep) Curve {
 	}
 }
 
+// sweepCurves runs every cell's distance sweep through the fleet at once,
+// then assembles the curves in cell order.
+func (r *Runner) sweepCurves(cells []cellRef, errf func(c cellRef, err error) error) ([]Curve, error) {
+	r.prefetchSweeps(cells)
+	curves := make([]Curve, len(cells))
+	for i, c := range cells {
+		sw, err := r.sweep(c.bench, c.input, c.m)
+		if err != nil {
+			return nil, errf(c, err)
+		}
+		curves[i] = curveFrom(sw)
+	}
+	return curves, nil
+}
+
 // Fig1 reproduces Figure 1: sssp speedup versus prefetch distance on the
 // Haswell machine across several inputs — the best distance range shifts
 // substantially between inputs.
@@ -38,49 +53,41 @@ func (r *Runner) Fig1() (*CurveSet, error) {
 	if len(inputs) > 6 {
 		inputs = inputs[:6]
 	}
-	out := &CurveSet{Title: "Figure 1 — sssp speedup vs prefetch distance (Haswell)"}
-	curves := make([]Curve, len(inputs))
-	errs := make([]error, len(inputs))
-	r.parDo(len(inputs), func(i int) {
-		sw, err := r.sweep("sssp", inputs[i], m)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		curves[i] = curveFrom(sw)
-	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("fig1 %s: %w", inputs[i], err)
-		}
+	cells := make([]cellRef, len(inputs))
+	for i, in := range inputs {
+		cells[i] = cellRef{"sssp", in, m}
 	}
-	out.Curves = curves
-	return out, nil
+	curves, err := r.sweepCurves(cells, func(c cellRef, err error) error {
+		return fmt.Errorf("fig1 %s: %w", c.input, err)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CurveSet{
+		Title:  "Figure 1 — sssp speedup vs prefetch distance (Haswell)",
+		Curves: curves,
+	}, nil
 }
 
 // Fig2 reproduces Figure 2: asymptotic speedup-vs-distance curves — the AJ
 // benchmarks, whose performance saturates as the distance grows.
 func (r *Runner) Fig2() (*CurveSet, error) {
 	m := r.opts.Machines[0]
-	out := &CurveSet{Title: fmt.Sprintf("Figure 2 — AJ benchmark distance curves (%s)", m.Name)}
 	benches := []string{"is", "cg", "randacc"}
-	curves := make([]Curve, len(benches))
-	errs := make([]error, len(benches))
-	r.parDo(len(benches), func(i int) {
-		sw, err := r.sweep(benches[i], "", m)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		curves[i] = curveFrom(sw)
-	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("fig2 %s: %w", benches[i], err)
-		}
+	cells := make([]cellRef, len(benches))
+	for i, b := range benches {
+		cells[i] = cellRef{b, "", m}
 	}
-	out.Curves = curves
-	return out, nil
+	curves, err := r.sweepCurves(cells, func(c cellRef, err error) error {
+		return fmt.Errorf("fig2 %s: %w", c.bench, err)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CurveSet{
+		Title:  fmt.Sprintf("Figure 2 — AJ benchmark distance curves (%s)", m.Name),
+		Curves: curves,
+	}, nil
 }
 
 // Fig3 reproduces Figure 3's point: the same inputs behave differently on
@@ -91,34 +98,22 @@ func (r *Runner) Fig3() (*CurveSet, error) {
 	if len(inputs) > 3 {
 		inputs = inputs[:3]
 	}
-	out := &CurveSet{Title: "Figure 3 — pr distance curves across microarchitectures"}
-	type job struct {
-		in string
-		m  machine.Machine
-	}
-	var jobs []job
+	var cells []cellRef
 	for _, in := range inputs {
 		for _, m := range r.opts.Machines {
-			jobs = append(jobs, job{in, m})
+			cells = append(cells, cellRef{"pr", in, m})
 		}
 	}
-	curves := make([]Curve, len(jobs))
-	errs := make([]error, len(jobs))
-	r.parDo(len(jobs), func(i int) {
-		sw, err := r.sweep("pr", jobs[i].in, jobs[i].m)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		curves[i] = curveFrom(sw)
+	curves, err := r.sweepCurves(cells, func(c cellRef, err error) error {
+		return fmt.Errorf("fig3 %s/%s: %w", c.input, c.m.Name, err)
 	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("fig3 %s/%s: %w", jobs[i].in, jobs[i].m.Name, err)
-		}
+	if err != nil {
+		return nil, err
 	}
-	out.Curves = curves
-	return out, nil
+	return &CurveSet{
+		Title:  "Figure 3 — pr distance curves across microarchitectures",
+		Curves: curves,
+	}, nil
 }
 
 // Render prints each curve as a series of distance:speedup points plus the

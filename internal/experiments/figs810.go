@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"rpg2/internal/fleet"
 	"rpg2/internal/machine"
 	"rpg2/internal/rpg2"
 	"rpg2/internal/stats"
@@ -28,45 +29,61 @@ func (r *Runner) Fig8(benches []string) (*Fig8Result, error) {
 	if len(benches) == 0 {
 		benches = []string{"pr", "bfs", "sssp", "bc", "is", "cg", "randacc"}
 	}
+	var all []cellRef
+	for _, m := range r.opts.Machines {
+		for _, b := range benches {
+			for _, in := range r.inputsFor(b) {
+				all = append(all, cellRef{b, in, m})
+			}
+		}
+	}
+	r.prefetchSweeps(all)
+
 	type cell struct {
 		bench, input string
 		m            machine.Machine
 		optimal      int
 	}
 	var cells []cell
-	for _, m := range r.opts.Machines {
-		for _, b := range benches {
-			for _, in := range r.inputsFor(b) {
-				sw, err := r.sweep(b, in, m)
-				if err != nil {
-					continue
-				}
-				if stats.Classify(sw.Distances, sw.Speedup) != stats.SingleOptimal {
-					continue
-				}
-				d, _ := sw.Best()
-				cells = append(cells, cell{b, in, m, d})
-			}
+	for _, c := range all {
+		sw, err := r.sweep(c.bench, c.input, c.m)
+		if err != nil {
+			continue
 		}
+		if stats.Classify(sw.Distances, sw.Speedup) != stats.SingleOptimal {
+			continue
+		}
+		d, _ := sw.Best()
+		cells = append(cells, cell{c.bench, c.input, c.m, d})
 	}
 	out := &Fig8Result{Inputs: len(cells)}
-	deltas := make([][]float64, len(cells))
-	r.parDo(len(cells), func(i int) {
-		c := cells[i]
+
+	var specs []fleet.SessionSpec
+	for i, c := range cells {
 		for t := 0; t < r.opts.Trials; t++ {
-			rr, err := r.runRPG2(c.bench, c.input, c.m, rpg2.Config{Seed: r.opts.Seed + int64(31*i+t)})
-			if err != nil || rr.Report.Outcome != rpg2.Tuned {
+			specs = append(specs, fleet.SessionSpec{
+				Bench: c.bench, Input: c.input, Machine: r.mptr(c.m),
+				Seed: r.opts.Seed + int64(31*i+t),
+				Cold: true, RunSeconds: -1,
+			})
+		}
+	}
+	sessions, err := r.runBatch(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		for t := 0; t < r.opts.Trials; t++ {
+			s := sessions[i*r.opts.Trials+t]
+			if s.State() == fleet.Failed || s.Report().Outcome != rpg2.Tuned {
 				continue
 			}
-			d := rr.Report.FinalDistance - c.optimal
+			d := s.Report().FinalDistance - c.optimal
 			if d < 0 {
 				d = -d
 			}
-			deltas[i] = append(deltas[i], float64(d))
+			out.Deltas = append(out.Deltas, float64(d))
 		}
-	})
-	for _, ds := range deltas {
-		out.Deltas = append(out.Deltas, ds...)
 	}
 	out.Edges = []float64{0, 4, 11, 21, 41, 81}
 	out.Counts = stats.Histogram(out.Deltas, out.Edges)
@@ -119,24 +136,33 @@ func (r *Runner) Fig9() (*Fig9Result, error) {
 		}
 	}
 	trials := max(r.opts.Trials, 2)
-	actives := make([]int, len(cells))
-	r.parDo(len(cells), func(i int) {
-		c := cells[i]
+	var specs []fleet.SessionSpec
+	for i, c := range cells {
 		for t := 0; t < trials; t++ {
-			rr, err := r.runRPG2("pr", inputs[c.ii], m, rpg2.Config{
-				ProfileSeconds: durations[c.di],
-				Seed:           r.opts.Seed + int64(7*i+t),
+			specs = append(specs, fleet.SessionSpec{
+				Bench: "pr", Input: inputs[c.ii], Machine: r.mptr(m),
+				Seed:   r.opts.Seed + int64(7*i+t),
+				Config: &rpg2.Config{ProfileSeconds: durations[c.di]},
+				Cold:   true, RunSeconds: -1,
 			})
-			if err == nil && rr.Report.Outcome != rpg2.NotActivated {
-				actives[i]++
+		}
+	}
+	sessions, err := r.runBatch(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		active := 0
+		for t := 0; t < trials; t++ {
+			s := sessions[i*trials+t]
+			if s.State() != fleet.Failed && s.Report().Outcome != rpg2.NotActivated {
+				active++
 			}
 		}
-	})
-	for i, c := range cells {
 		switch {
-		case actives[i] == trials:
+		case active == trials:
 			out.Always[c.di]++
-		case actives[i] == 0:
+		case active == 0:
 			out.Never[c.di]++
 		default:
 			out.Mixed[c.di]++
@@ -179,29 +205,46 @@ func (r *Runner) Fig10(friendly, hostile string) (*Fig10Result, error) {
 	if hostile == "" {
 		hostile = "as20000102-like"
 	}
-	run := func(input string) (*SessionTimeline, error) {
-		rr, err := r.timelineRun("pr", input, m)
-		if err != nil {
-			return nil, err
-		}
-		return rr, nil
-	}
 	var out Fig10Result
 	var err error
-	if out.Speedup, err = run(friendly); err != nil {
+	if out.Speedup, err = r.timelineRun("pr", friendly, m); err != nil {
 		return nil, err
 	}
-	if out.Rollback, err = run(hostile); err != nil {
+	if out.Rollback, err = r.timelineRun("pr", hostile, m); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
-// timelineRun performs one session and appends post-detach measurement
-// windows to the timeline.
+// timelineRun performs one fleet session with a post-detach measurement
+// timeline: the controller's own phase timeline plus twelve half-second
+// windows after it detaches.
 func (r *Runner) timelineRun(bench, input string, m machine.Machine) (*SessionTimeline, error) {
-	rr, err := r.runRPG2WithTail(bench, input, m, rpg2.Config{Seed: r.opts.Seed, MinSamples: 10})
-	return rr, err
+	s, err := r.fleet.Submit(fleet.SessionSpec{
+		Bench: bench, Input: input, Machine: r.mptr(m),
+		Seed:              r.opts.Seed,
+		Config:            &rpg2.Config{MinSamples: 10},
+		Cold:              true,
+		RunSeconds:        -1,
+		TailWindows:       12,
+		TailWindowSeconds: 0.5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.fleet.Drain()
+	if s.State() == fleet.Failed {
+		return nil, s.Err()
+	}
+	rep := s.Report()
+	st := &SessionTimeline{
+		Bench: bench, Input: input, Machine: m.Name,
+		Outcome:       rep.Outcome,
+		FinalDistance: rep.FinalDistance,
+	}
+	st.Points = append(st.Points, rep.Timeline...)
+	st.Points = append(st.Points, s.Tail()...)
+	return st, nil
 }
 
 // Render prints both timelines.

@@ -72,6 +72,7 @@ func (errFakeType) Error() string { return "synthetic failure" }
 
 func TestInputsForEachBenchmark(t *testing.T) {
 	r := NewRunner(QuickOptions())
+	defer r.Close()
 	if got := r.inputsFor("pr"); len(got) == 0 {
 		t.Fatal("pr has no inputs")
 	}
@@ -89,16 +90,5 @@ func TestManualDistances(t *testing.T) {
 	}
 	if manualDistance("pr") != 0 {
 		t.Fatal("pr must not have a manual distance")
-	}
-}
-
-func TestParDoRunsEverythingOnce(t *testing.T) {
-	r := NewRunner(Options{Parallelism: 4})
-	hits := make([]int, 100)
-	r.parDo(len(hits), func(i int) { hits[i]++ })
-	for i, h := range hits {
-		if h != 1 {
-			t.Fatalf("index %d ran %d times", i, h)
-		}
 	}
 }

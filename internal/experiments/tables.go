@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"rpg2/internal/bolt"
+	"rpg2/internal/fleet"
 	"rpg2/internal/isa"
 	"rpg2/internal/machine"
 	"rpg2/internal/rpg2"
@@ -58,7 +59,7 @@ func (r *Runner) Table1() (*Table1Result, error) {
 
 	// Category 2: a[f(b[j])] — pr's rank[edge[e]].
 	add := func(bench, input, pattern string) error {
-		w, err := workloads.Build(bench, input, 1)
+		w, err := r.fleet.Builds().Build(bench, input, 1)
 		if err != nil {
 			return err
 		}
@@ -112,28 +113,46 @@ func (r *Runner) Table2() (*Table2Result, error) {
 	m := r.opts.Machines[0]
 	benches := []string{"pr", "sssp", "bfs", "bc", "is", "randacc", "cg"}
 	out := &Table2Result{Machine: m.Name, Rows: make([]Table2Row, len(benches))}
-	r.parDo(len(benches), func(i int) {
-		b := benches[i]
+
+	type cell struct{ bi int }
+	var specs []fleet.SessionSpec
+	var cells []cell
+	for i, b := range benches {
 		inputs := r.inputsFor(b)
 		if len(inputs) > 4 {
 			inputs = inputs[:4]
 		}
-		var agg rpg2.OpCosts
-		n := 0
-		for k, in := range inputs {
-			rr, err := r.runRPG2(b, in, m, rpg2.Config{Seed: r.opts.Seed + int64(11*i+k)})
-			if err != nil || rr.Report.Outcome == rpg2.NotActivated {
-				continue
-			}
-			c := rr.Report.Costs
-			agg.ExecSeconds += c.ExecSeconds
-			agg.BOLTSeconds += c.BOLTSeconds
-			agg.CodeInsertSeconds += c.CodeInsertSeconds
-			agg.PDEditSeconds += c.PDEditSeconds
-			agg.PDEdits += c.PDEdits
-			n++
+		for k := range inputs {
+			specs = append(specs, fleet.SessionSpec{
+				Bench: b, Input: inputs[k], Machine: r.mptr(m),
+				Seed: r.opts.Seed + int64(11*i+k),
+				Cold: true, RunSeconds: -1,
+			})
+			cells = append(cells, cell{bi: i})
 		}
-		if n > 0 {
+	}
+	sessions, err := r.runBatch(specs)
+	if err != nil {
+		return nil, err
+	}
+	aggs := make([]rpg2.OpCosts, len(benches))
+	counts := make([]int, len(benches))
+	for si, c := range cells {
+		s := sessions[si]
+		if s.State() == fleet.Failed || s.Report().Outcome == rpg2.NotActivated {
+			continue
+		}
+		costs := s.Report().Costs
+		aggs[c.bi].ExecSeconds += costs.ExecSeconds
+		aggs[c.bi].BOLTSeconds += costs.BOLTSeconds
+		aggs[c.bi].CodeInsertSeconds += costs.CodeInsertSeconds
+		aggs[c.bi].PDEditSeconds += costs.PDEditSeconds
+		aggs[c.bi].PDEdits += costs.PDEdits
+		counts[c.bi]++
+	}
+	for i, b := range benches {
+		agg := aggs[i]
+		if n := counts[i]; n > 0 {
 			agg.ExecSeconds /= float64(n)
 			agg.BOLTSeconds /= float64(n)
 			agg.CodeInsertSeconds /= float64(n)
@@ -141,7 +160,7 @@ func (r *Runner) Table2() (*Table2Result, error) {
 			agg.PDEdits = agg.PDEdits / n
 		}
 		out.Rows[i] = Table2Row{Bench: b, Costs: agg}
-	})
+	}
 	return out, nil
 }
 
@@ -197,38 +216,27 @@ func (r *Runner) Table3(benches []string) (*Table3Result, error) {
 		input string
 	}
 	var cells []cell
+	var refs []cellRef
 	for bi, b := range benches {
 		for _, in := range r.inputsFor(b) {
 			cells = append(cells, cell{bi, in})
+			refs = append(refs, cellRef{b, in, cl}, cellRef{b, in, hw})
 		}
 	}
-	type classes struct{ cl, hw stats.Class }
-	results := make([]classes, len(cells))
-	errs := make([]error, len(cells))
-	r.parDo(len(cells), func(i int) {
-		c := cells[i]
+	r.prefetchSweeps(refs)
+	for _, c := range cells {
 		swCL, err := r.sweep(benches[c.bi], c.input, cl)
 		if err != nil {
-			errs[i] = err
-			return
+			continue
 		}
 		swHW, err := r.sweep(benches[c.bi], c.input, hw)
 		if err != nil {
-			errs[i] = err
-			return
-		}
-		results[i] = classes{
-			cl: stats.Classify(swCL.Distances, swCL.Speedup),
-			hw: stats.Classify(swHW.Distances, swHW.Speedup),
-		}
-	})
-	for i, c := range cells {
-		if errs[i] != nil {
 			continue
 		}
-		cc := results[i]
-		out.Counts[cl.Name][stats.CrossClassify(cc.cl, cc.hw, cc.cl)][c.bi]++
-		out.Counts[hw.Name][stats.CrossClassify(cc.cl, cc.hw, cc.hw)][c.bi]++
+		ccl := stats.Classify(swCL.Distances, swCL.Speedup)
+		chw := stats.Classify(swHW.Distances, swHW.Speedup)
+		out.Counts[cl.Name][stats.CrossClassify(ccl, chw, ccl)][c.bi]++
+		out.Counts[hw.Name][stats.CrossClassify(ccl, chw, chw)][c.bi]++
 	}
 	return out, nil
 }

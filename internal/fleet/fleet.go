@@ -14,8 +14,8 @@ import (
 	"sync"
 	"time"
 
+	"rpg2/internal/baselines"
 	"rpg2/internal/machine"
-	"rpg2/internal/perf"
 	rpgcore "rpg2/internal/rpg2"
 	"rpg2/internal/workloads"
 )
@@ -72,32 +72,113 @@ var legalNext = map[State][]State{
 	Tuning:    {Done, RolledBack, Failed},
 }
 
-// SessionSpec names one unit of fleet work: attach RPG² to a fresh run of
-// a workload and drive it to a terminal outcome.
+// Kind selects what a fleet session does with its target. The zero value
+// is the full RPG² optimization; the other kinds run the evaluation's
+// reference schemes and shared precomputations through the same admission
+// queue, worker pool, journal, and metrics — there is exactly one way to
+// run work at scale in this repo, and this is it.
+type Kind uint8
+
+const (
+	// OptimizeJob runs the four-phase controller (the default).
+	OptimizeJob Kind = iota
+	// BaselineJob runs the unmodified binary and measures it.
+	BaselineJob
+	// StaticJob runs a statically prefetched build at Spec.Distance.
+	StaticJob
+	// SweepJob runs an offline distance sweep (Figures 1-3, 8, Table 3).
+	SweepJob
+	// ProfileJob collects PEBS candidate sites without optimizing.
+	ProfileJob
+	// APTGETJob derives the APT-GET scheme's analytic distance.
+	APTGETJob
+)
+
+func (k Kind) String() string {
+	switch k {
+	case OptimizeJob:
+		return "optimize"
+	case BaselineJob:
+		return "baseline"
+	case StaticJob:
+		return "static"
+	case SweepJob:
+		return "sweep"
+	case ProfileJob:
+		return "profile"
+	case APTGETJob:
+		return "apt-get"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// SessionSpec names one unit of fleet work: attach RPG² (or a reference
+// scheme, per Kind) to a fresh run of a workload and drive it to a
+// terminal outcome.
 type SessionSpec struct {
 	// Bench and Input pick the workload (Input empty for AJ benchmarks).
 	Bench string
 	Input string
+	// Kind selects the job type (default OptimizeJob).
+	Kind Kind
+	// Machine, when non-nil, overrides the fleet's machine for this
+	// session. The profile store is keyed on the effective machine, so
+	// the same bench on two machines never cross-seeds.
+	Machine *machine.Machine
 	// Seed drives the session controller's randomness.
 	Seed int64
-	// RunSeconds is the simulated post-optimization run budget; 0 uses
-	// the fleet default.
+	// Config, when non-nil, replaces the fleet's base controller
+	// configuration for this optimize session (Seed still comes from
+	// Spec.Seed).
+	Config *rpgcore.Config
+	// Cold forces an optimize session to bypass the profile store
+	// entirely: no lookup, no commit, no invalidation. A cold session's
+	// result depends only on its spec — the determinism the experiments
+	// harness requires.
+	Cold bool
+	// RunSeconds is the simulated end-of-run clock budget; 0 uses the
+	// fleet default, negative skips the post-optimization run entirely.
 	RunSeconds float64
+	// TailSeconds, when positive, ends the run with a measured trailing
+	// window of this length instead of a plain run-out; the result is
+	// available via Session.Measurement. Baseline and static jobs
+	// default to 1 s.
+	TailSeconds float64
+	// TailWindows and TailWindowSeconds, when TailWindows > 0, measure a
+	// post-detach timeline of consecutive windows after an optimize
+	// session (Figure 10); available via Session.Tail.
+	TailWindows       int
+	TailWindowSeconds float64
+	// Distance is the static prefetch distance for StaticJob.
+	Distance int
+	// Candidates are the prefetch-site PCs for StaticJob; empty means
+	// profile them first.
+	Candidates []int
+	// Sweep configures SweepJob; nil uses the paper's default sweep.
+	Sweep *baselines.SweepConfig
+	// ProfileSeconds is ProfileJob's sampling window (default 2 s).
+	ProfileSeconds float64
 }
 
-// Session is one tracked optimization of one target process.
+// Session is one tracked unit of fleet work over one target process.
 type Session struct {
 	// ID is the fleet-assigned admission number.
 	ID int
 	// Spec is what was submitted.
 	Spec SessionSpec
 
-	mu     sync.Mutex
-	state  State
-	warm   bool
-	report *rpgcore.Report
-	err    error
-	wall   time.Duration
+	mu          sync.Mutex
+	machineName string
+	state       State
+	warm        bool
+	report      *rpgcore.Report
+	meas        *rpgcore.Measurement
+	sweep       *baselines.Sweep
+	cands       []int
+	distance    int
+	tail        []rpgcore.TimelinePoint
+	err         error
+	wall        time.Duration
 }
 
 // State returns the session's current lifecycle state.
@@ -146,6 +227,50 @@ func (s *Session) Probes() int {
 	return s.report.Costs.PDEdits
 }
 
+// MachineName returns the effective machine the session runs on.
+func (s *Session) MachineName() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.machineName
+}
+
+// Measurement returns the end-of-run measurement (nil unless the spec
+// requested a trailing window via TailSeconds, or for baseline/static
+// jobs, which always measure).
+func (s *Session) Measurement() *rpgcore.Measurement {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.meas
+}
+
+// SweepResult returns a SweepJob's distance sweep (nil otherwise).
+func (s *Session) SweepResult() *baselines.Sweep {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sweep
+}
+
+// Candidates returns a ProfileJob's candidate PCs (nil otherwise).
+func (s *Session) Candidates() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cands
+}
+
+// Distance returns an APTGETJob's derived distance (0 otherwise).
+func (s *Session) Distance() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.distance
+}
+
+// Tail returns the post-detach timeline requested via Spec.TailWindows.
+func (s *Session) Tail() []rpgcore.TimelinePoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tail
+}
+
 // Config tunes a Fleet. The zero value of every field has a sensible
 // default except Machine, which must be set.
 type Config struct {
@@ -162,6 +287,9 @@ type Config struct {
 	// Store shares a profile store across fleets; nil creates a private
 	// one (unless DisableStore).
 	Store *Store
+	// Builds is the workload build cache sessions construct targets
+	// from; nil uses the process-wide shared cache.
+	Builds *workloads.BuildCache
 	// StoreConfig configures the private store when Store is nil.
 	StoreConfig StoreConfig
 	// DisableStore turns off profile reuse: every session runs cold.
@@ -187,6 +315,9 @@ func (c Config) defaults() Config {
 	}
 	if c.RegressTolerance == 0 {
 		c.RegressTolerance = 0.25
+	}
+	if c.Builds == nil {
+		c.Builds = workloads.SharedCache()
 	}
 	return c
 }
@@ -262,6 +393,10 @@ func (f *Fleet) Submit(spec SessionSpec) (*Session, error) {
 		return nil, ErrClosed
 	}
 	s := &Session{ID: f.nextID, Spec: spec, state: Queued}
+	s.machineName = f.cfg.Machine.Name
+	if spec.Machine != nil {
+		s.machineName = spec.Machine.Name
+	}
 	f.nextID++
 	f.queue = append(f.queue, s)
 	f.sessions = append(f.sessions, s)
@@ -272,8 +407,9 @@ func (f *Fleet) Submit(spec SessionSpec) (*Session, error) {
 
 	f.metrics.submit()
 	f.journal.add(Event{
-		Session: s.ID, Type: "queued",
-		Bench: spec.Bench, Input: spec.Input, State: Queued.String(),
+		Session: s.ID, Type: "queued", Kind: spec.Kind.String(),
+		Bench: spec.Bench, Input: spec.Input, Machine: s.machineName,
+		State: Queued.String(),
 	})
 	f.cond.Broadcast()
 	return s, nil
@@ -321,8 +457,11 @@ func (f *Fleet) Snapshot() Snapshot {
 	if !f.cfg.DisableStore {
 		store = f.store
 	}
-	return f.metrics.snapshot(store, workers, peak)
+	return f.metrics.snapshot(store, f.cfg.Builds, workers, peak)
 }
+
+// Builds returns the fleet's workload build cache.
+func (f *Fleet) Builds() *workloads.BuildCache { return f.cfg.Builds }
 
 func (f *Fleet) worker() {
 	defer f.workers.Done()
@@ -387,23 +526,86 @@ func (f *Fleet) failSession(s *Session, started time.Time, err error) {
 	f.metrics.fail(s.Wall())
 	f.journal.add(Event{
 		Session: s.ID, Type: "session-failed", State: Failed.String(),
-		Bench: s.Spec.Bench, Input: s.Spec.Input, Err: err.Error(),
+		Kind:  s.Spec.Kind.String(),
+		Bench: s.Spec.Bench, Input: s.Spec.Input, Machine: s.MachineName(),
+		Err: err.Error(),
 	})
 }
 
-// runSession drives one session end to end: store lookup, launch, optimize
-// under the phase hook, post-run, store policy, terminal bookkeeping.
+// machineFor resolves a session's effective machine.
+func (f *Fleet) machineFor(s *Session) machine.Machine {
+	if s.Spec.Machine != nil {
+		return *s.Spec.Machine
+	}
+	return f.cfg.Machine
+}
+
+// runSeconds resolves a session's end-of-run clock budget; ok is false
+// when the spec opted out of the post-optimization run.
+func (f *Fleet) runSeconds(s *Session) (float64, bool) {
+	run := s.Spec.RunSeconds
+	if run == 0 {
+		run = f.cfg.RunSeconds
+	}
+	return run, run > 0
+}
+
+// finishAux completes a non-optimize session with its terminal
+// bookkeeping.
+func (f *Fleet) finishAux(s *Session, started time.Time) {
+	f.transition(s, Done, 0)
+	s.mu.Lock()
+	s.wall = time.Since(started)
+	s.mu.Unlock()
+	f.metrics.finishAux(s.Spec.Kind.String(), s.Wall())
+	f.journal.add(Event{
+		Session: s.ID, Type: "session-done", State: Done.String(),
+		Kind:  s.Spec.Kind.String(),
+		Bench: s.Spec.Bench, Input: s.Spec.Input, Machine: s.MachineName(),
+	})
+}
+
+// runSession dispatches one admitted session to its kind's runner.
 func (f *Fleet) runSession(s *Session) {
 	started := time.Now()
-	key := Key{Bench: s.Spec.Bench, Input: s.Spec.Input, Machine: f.cfg.Machine.Name}
+	m := f.machineFor(s)
+	switch s.Spec.Kind {
+	case BaselineJob:
+		f.runBaseline(s, started, m)
+	case StaticJob:
+		f.runStatic(s, started, m)
+	case SweepJob:
+		f.runSweep(s, started, m)
+	case ProfileJob:
+		f.runProfile(s, started, m)
+	case APTGETJob:
+		f.runAPTGET(s, started, m)
+	default:
+		f.runOptimize(s, started, m)
+	}
+}
+
+// runOptimize drives one optimize session end to end: store lookup (unless
+// cold), launch from the build cache, optimize under the phase hook,
+// post-run, store policy, terminal bookkeeping.
+func (f *Fleet) runOptimize(s *Session, started time.Time, m machine.Machine) {
+	// The store key uses the session's *effective* machine: a distance
+	// tuned on one microarchitecture transplants badly to another
+	// (Figure 3), so the same bench on two machines must never
+	// cross-seed.
+	key := Key{Bench: s.Spec.Bench, Input: s.Spec.Input, Machine: m.Name}
 
 	cfg := f.cfg.Session
+	if s.Spec.Config != nil {
+		cfg = *s.Spec.Config
+	}
 	cfg.Seed = s.Spec.Seed
 
+	cold := s.Spec.Cold || f.cfg.DisableStore
 	var seed Entry
 	var seedGen uint64
 	warm := false
-	if !f.cfg.DisableStore {
+	if !cold {
 		if e, gen, ok := f.store.Lookup(key); ok {
 			warm, seed, seedGen = true, e, gen
 			cfg.SeedFunc = e.Func
@@ -417,26 +619,29 @@ func (f *Fleet) runSession(s *Session) {
 		}
 		f.journal.add(Event{
 			Session: s.ID, Type: typ, Warm: warm,
-			Bench: s.Spec.Bench, Input: s.Spec.Input,
+			Bench: s.Spec.Bench, Input: s.Spec.Input, Machine: m.Name,
 		})
 	}
 	s.mu.Lock()
 	s.warm = warm
 	s.mu.Unlock()
 
-	w, err := workloads.Build(s.Spec.Bench, s.Spec.Input, 1<<30)
+	w, err := f.cfg.Builds.Build(s.Spec.Bench, s.Spec.Input, 1<<30)
 	if err != nil {
 		f.failSession(s, started, err)
 		return
 	}
-	p, err := f.cfg.Machine.Launch(w.Bin, w.Setup)
+	sess, err := rpgcore.NewSession(m, w)
 	if err != nil {
 		f.failSession(s, started, err)
 		return
 	}
-	perf.AttachWatch(p, []int{w.WorkPC})
 
+	userPhase := cfg.OnPhase
 	cfg.OnPhase = func(name string, at float64) {
+		if userPhase != nil {
+			userPhase(name, at)
+		}
 		switch name {
 		case "profile":
 			f.transition(s, Profiling, at)
@@ -446,7 +651,7 @@ func (f *Fleet) runSession(s *Session) {
 			f.transition(s, Tuning, at)
 		}
 	}
-	rep, err := rpgcore.New(f.cfg.Machine, cfg).Optimize(p)
+	rep, err := sess.Optimize(cfg)
 	if err != nil {
 		s.mu.Lock()
 		s.report = rep
@@ -457,15 +662,39 @@ func (f *Fleet) runSession(s *Session) {
 
 	// Let the optimized (or untouched) target run out its budget, as a
 	// fleet operator would leave the service attached to a live process.
-	run := s.Spec.RunSeconds
-	if run == 0 {
-		run = f.cfg.RunSeconds
-	}
-	if budget := f.cfg.Machine.Seconds(run); p.Clock() < budget {
-		p.Run(budget - p.Clock())
+	// A measured spec (TailSeconds > 0) ends with a trailing window
+	// instead; a timeline spec (TailWindows > 0) measures the post-detach
+	// windows of Figure 10.
+	run, wantRun := f.runSeconds(s)
+	switch {
+	case s.Spec.TailSeconds > 0 && wantRun:
+		meas, merr := sess.MeasureToBudget(run, s.Spec.TailSeconds)
+		if merr != nil {
+			s.mu.Lock()
+			s.report = rep
+			s.mu.Unlock()
+			f.failSession(s, started, merr)
+			return
+		}
+		s.mu.Lock()
+		s.meas = &meas
+		s.mu.Unlock()
+	case s.Spec.TailWindows > 0:
+		base := 0.0
+		if n := len(rep.Timeline); n > 0 {
+			base = rep.Timeline[n-1].Seconds
+		}
+		tail := sess.TailTimeline(s.Spec.TailWindows, s.Spec.TailWindowSeconds, base)
+		s.mu.Lock()
+		s.tail = tail
+		s.mu.Unlock()
+	case wantRun:
+		sess.RunOut(run)
 	}
 
-	f.applyStorePolicy(s, key, rep, warm, seed, seedGen)
+	if !cold {
+		f.applyStorePolicy(s, key, rep, warm, seed, seedGen)
+	}
 
 	final := Done
 	if rep.Outcome == rpgcore.RolledBack {
@@ -479,8 +708,146 @@ func (f *Fleet) runSession(s *Session) {
 	f.metrics.finish(rep.Outcome.String(), warm, rep.Costs.PDEdits, s.Wall())
 	f.journal.add(Event{
 		Session: s.ID, Type: "session-done", State: final.String(),
-		Bench: s.Spec.Bench, Input: s.Spec.Input, Warm: warm, Report: rep,
+		Kind:  s.Spec.Kind.String(),
+		Bench: s.Spec.Bench, Input: s.Spec.Input, Machine: m.Name,
+		Warm: warm, Report: rep,
 	})
+}
+
+// measuredTail resolves the trailing-window length for measured jobs.
+func (s *Session) measuredTail() float64 {
+	if s.Spec.TailSeconds > 0 {
+		return s.Spec.TailSeconds
+	}
+	return 1.0
+}
+
+// runBaseline measures the unmodified binary to the run budget.
+func (f *Fleet) runBaseline(s *Session, started time.Time, m machine.Machine) {
+	w, err := f.cfg.Builds.Build(s.Spec.Bench, s.Spec.Input, 1<<30)
+	if err != nil {
+		f.failSession(s, started, err)
+		return
+	}
+	sess, err := rpgcore.NewSession(m, w)
+	if err != nil {
+		f.failSession(s, started, err)
+		return
+	}
+	run, _ := f.runSeconds(s)
+	meas, err := sess.MeasureToBudget(run, s.measuredTail())
+	if err != nil {
+		f.failSession(s, started, err)
+		return
+	}
+	s.mu.Lock()
+	s.meas = &meas
+	s.mu.Unlock()
+	f.finishAux(s, started)
+}
+
+// runStatic measures a statically prefetched build at Spec.Distance,
+// profiling candidates first when the spec does not carry them.
+func (f *Fleet) runStatic(s *Session, started time.Time, m machine.Machine) {
+	w, err := f.cfg.Builds.Build(s.Spec.Bench, s.Spec.Input, 1<<30)
+	if err != nil {
+		f.failSession(s, started, err)
+		return
+	}
+	cands := s.Spec.Candidates
+	if len(cands) == 0 {
+		cands, err = baselines.ProfileCandidates(w, m, 2.0)
+		if err != nil {
+			f.failSession(s, started, err)
+			return
+		}
+	}
+	pf, err := baselines.BuildPrefetched(w, cands, s.Spec.Distance)
+	if err != nil {
+		f.failSession(s, started, err)
+		return
+	}
+	pcs := []int{w.WorkPC}
+	if off, ok := pf.RW.BAT.Translate(w.WorkPC); ok {
+		pcs = append(pcs, pf.F1Entry+off)
+	}
+	sess, err := rpgcore.NewSessionBin(m, pf.Bin, w.Setup, pcs)
+	if err != nil {
+		f.failSession(s, started, err)
+		return
+	}
+	run, _ := f.runSeconds(s)
+	meas, err := sess.MeasureToBudget(run, s.measuredTail())
+	if err != nil {
+		f.failSession(s, started, err)
+		return
+	}
+	s.mu.Lock()
+	s.meas = &meas
+	s.mu.Unlock()
+	f.finishAux(s, started)
+}
+
+// runSweep runs an offline distance sweep over the cached workload.
+func (f *Fleet) runSweep(s *Session, started time.Time, m machine.Machine) {
+	w, err := f.cfg.Builds.Build(s.Spec.Bench, s.Spec.Input, 1<<30)
+	if err != nil {
+		f.failSession(s, started, err)
+		return
+	}
+	cfg := baselines.DefaultSweep()
+	if s.Spec.Sweep != nil {
+		cfg = *s.Spec.Sweep
+	}
+	sw, err := baselines.RunSweepWorkload(w, m, cfg)
+	if err != nil {
+		f.failSession(s, started, err)
+		return
+	}
+	s.mu.Lock()
+	s.sweep = sw
+	s.mu.Unlock()
+	f.finishAux(s, started)
+}
+
+// runProfile collects PEBS candidate sites without optimizing.
+func (f *Fleet) runProfile(s *Session, started time.Time, m machine.Machine) {
+	w, err := f.cfg.Builds.Build(s.Spec.Bench, s.Spec.Input, 1<<30)
+	if err != nil {
+		f.failSession(s, started, err)
+		return
+	}
+	secs := s.Spec.ProfileSeconds
+	if secs == 0 {
+		secs = 2.0
+	}
+	cands, err := baselines.ProfileCandidates(w, m, secs)
+	if err != nil {
+		f.failSession(s, started, err)
+		return
+	}
+	s.mu.Lock()
+	s.cands = cands
+	s.mu.Unlock()
+	f.finishAux(s, started)
+}
+
+// runAPTGET derives the APT-GET scheme's analytic distance.
+func (f *Fleet) runAPTGET(s *Session, started time.Time, m machine.Machine) {
+	w, err := f.cfg.Builds.Build(s.Spec.Bench, s.Spec.Input, 1<<30)
+	if err != nil {
+		f.failSession(s, started, err)
+		return
+	}
+	d, err := baselines.APTGETDistanceWorkload(w, m)
+	if err != nil {
+		f.failSession(s, started, err)
+		return
+	}
+	s.mu.Lock()
+	s.distance = d
+	s.mu.Unlock()
+	f.finishAux(s, started)
 }
 
 // applyStorePolicy decides what a finished session teaches the store: a

@@ -27,6 +27,11 @@ type Event struct {
 	// Bench and Input name the session's workload.
 	Bench string `json:"bench,omitempty"`
 	Input string `json:"input,omitempty"`
+	// Kind is the session's job kind ("optimize", "baseline", "static",
+	// "sweep", "profile", "apt-get") on admission and terminal events.
+	Kind string `json:"kind,omitempty"`
+	// Machine is the effective machine the session ran on.
+	Machine string `json:"machine,omitempty"`
 	// State is the session state entered (for "state" events and
 	// terminal events).
 	State string `json:"state,omitempty"`

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"rpg2/internal/workloads"
 )
 
 // metrics accumulates fleet-wide counters; Snapshot freezes them.
@@ -15,14 +17,19 @@ type metrics struct {
 	submitted int
 	completed int
 	failed    int
-	outcomes  map[string]int // terminal rpg2 outcome name -> count
+	outcomes  map[string]int // terminal rpg2 outcome name -> count (optimize jobs)
+	kinds     map[string]int // completed sessions per job kind
 	wallSecs  []float64      // per completed session
 	coldProbe []int          // search probes per cold session that searched
 	warmProbe []int          // search probes per warm session that searched
 }
 
 func newMetrics() *metrics {
-	return &metrics{start: time.Now(), outcomes: make(map[string]int)}
+	return &metrics{
+		start:    time.Now(),
+		outcomes: make(map[string]int),
+		kinds:    make(map[string]int),
+	}
 }
 
 func (m *metrics) submit() {
@@ -36,6 +43,7 @@ func (m *metrics) finish(outcome string, warm bool, probes int, wall time.Durati
 	defer m.mu.Unlock()
 	m.completed++
 	m.outcomes[outcome]++
+	m.kinds[OptimizeJob.String()]++
 	m.wallSecs = append(m.wallSecs, wall.Seconds())
 	if probes > 0 {
 		if warm {
@@ -44,6 +52,17 @@ func (m *metrics) finish(outcome string, warm bool, probes int, wall time.Durati
 			m.coldProbe = append(m.coldProbe, probes)
 		}
 	}
+}
+
+// finishAux records a completed non-optimize session (baseline, static,
+// sweep, profile, apt-get): wall latency and kind only — it has no
+// controller outcome.
+func (m *metrics) finishAux(kind string, wall time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.completed++
+	m.kinds[kind]++
+	m.wallSecs = append(m.wallSecs, wall.Seconds())
 }
 
 func (m *metrics) fail(wall time.Duration) {
@@ -70,9 +89,12 @@ type Snapshot struct {
 	NotActivated int `json:"not_activated"`
 	TargetExited int `json:"target_exited"`
 
-	// ActivationRate is the share of completed sessions where RPG²
-	// injected code (tuned or rolled back); RollbackRate is the share of
-	// activated sessions that rolled back.
+	// Kinds counts completed sessions per job kind.
+	Kinds map[string]int `json:"kinds,omitempty"`
+
+	// ActivationRate is the share of completed optimize sessions where
+	// RPG² injected code (tuned or rolled back); RollbackRate is the
+	// share of activated sessions that rolled back.
 	ActivationRate float64 `json:"activation_rate"`
 	RollbackRate   float64 `json:"rollback_rate"`
 
@@ -86,6 +108,11 @@ type Snapshot struct {
 	Store        StoreCounters `json:"store"`
 	StoreHitRate float64       `json:"store_hit_rate"`
 	StoreEntries int           `json:"store_entries"`
+
+	// Workload build-cache counters: graph constructions performed and
+	// Build calls served by an existing entry.
+	BuildConstructs int64 `json:"build_constructs"`
+	BuildHits       int64 `json:"build_hits"`
 
 	// Search cost split by temperature: mean distance probes per session
 	// that ran a search.
@@ -114,7 +141,7 @@ func meanInt(xs []int) float64 {
 	return float64(sum) / float64(len(xs))
 }
 
-func (m *metrics) snapshot(store *Store, workers, queuePeak int) Snapshot {
+func (m *metrics) snapshot(store *Store, builds *workloads.BuildCache, workers, queuePeak int) Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
@@ -132,8 +159,18 @@ func (m *metrics) snapshot(store *Store, workers, queuePeak int) Snapshot {
 		ColdProbesMean: meanInt(m.coldProbe),
 		WarmProbesMean: meanInt(m.warmProbe),
 	}
-	if s.Completed > 0 {
-		s.ActivationRate = float64(s.Tuned+s.RolledBack) / float64(s.Completed)
+	if len(m.kinds) > 0 {
+		s.Kinds = make(map[string]int, len(m.kinds))
+		for k, n := range m.kinds {
+			s.Kinds[k] = n
+		}
+	}
+	optimized := 0
+	for _, n := range m.outcomes {
+		optimized += n
+	}
+	if optimized > 0 {
+		s.ActivationRate = float64(s.Tuned+s.RolledBack) / float64(optimized)
 	}
 	if n := s.Tuned + s.RolledBack; n > 0 {
 		s.RollbackRate = float64(s.RolledBack) / float64(n)
@@ -152,6 +189,10 @@ func (m *metrics) snapshot(store *Store, workers, queuePeak int) Snapshot {
 			s.StoreHitRate = float64(s.Store.Hits) / float64(n)
 		}
 	}
+	if builds != nil {
+		s.BuildConstructs = builds.Builds()
+		s.BuildHits = builds.Hits()
+	}
 	return s
 }
 
@@ -164,6 +205,18 @@ func (s Snapshot) Render() string {
 		s.Submitted, s.Completed, s.Failed)
 	fmt.Fprintf(&b, "  outcomes       %d tuned, %d rolled-back, %d not-activated, %d target-exited\n",
 		s.Tuned, s.RolledBack, s.NotActivated, s.TargetExited)
+	if len(s.Kinds) > 0 {
+		ks := make([]string, 0, len(s.Kinds))
+		for k := range s.Kinds {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		parts := make([]string, len(ks))
+		for i, k := range ks {
+			parts[i] = fmt.Sprintf("%s %d", k, s.Kinds[k])
+		}
+		fmt.Fprintf(&b, "  job kinds      %s\n", strings.Join(parts, ", "))
+	}
 	fmt.Fprintf(&b, "  rates          activation %.1f%%, rollback %.1f%%\n",
 		100*s.ActivationRate, 100*s.RollbackRate)
 	fmt.Fprintf(&b, "  throughput     %.2f sessions/s, wall p50 %.3fs p95 %.3fs\n",
@@ -171,6 +224,8 @@ func (s Snapshot) Render() string {
 	fmt.Fprintf(&b, "  profile store  %d hits, %d misses (hit rate %.1f%%), %d stale, %d invalidated, %d commits, %d live\n",
 		s.Store.Hits, s.Store.Misses, 100*s.StoreHitRate,
 		s.Store.Stale, s.Store.Invalidations, s.Store.Commits, s.StoreEntries)
+	fmt.Fprintf(&b, "  workload cache %d graph builds, %d cache hits\n",
+		s.BuildConstructs, s.BuildHits)
 	fmt.Fprintf(&b, "  search probes  cold %.1f mean over %d sessions, warm %.1f mean over %d sessions\n",
 		s.ColdProbesMean, s.ColdSessions, s.WarmProbesMean, s.WarmSessions)
 	fmt.Fprintf(&b, "  scheduling     %d workers, peak queue depth %d\n",

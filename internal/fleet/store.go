@@ -69,6 +69,7 @@ type Store struct {
 	mu       sync.Mutex
 	entries  map[Key]*storeEntry
 	gen      uint64
+	frozen   bool
 	counters StoreCounters
 }
 
@@ -93,6 +94,10 @@ func (s *Store) Lookup(k Key) (Entry, uint64, bool) {
 		s.counters.Misses++
 		return Entry{}, 0, false
 	}
+	if s.frozen {
+		s.counters.Hits++
+		return e.Entry, e.gen, true
+	}
 	if e.uses >= s.cfg.MaxReuse {
 		delete(s.entries, k)
 		s.counters.Stale++
@@ -109,6 +114,9 @@ func (s *Store) Lookup(k Key) (Entry, uint64, bool) {
 func (s *Store) Commit(k Key, e Entry) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.frozen {
+		return 0
+	}
 	s.gen++
 	s.counters.Commits++
 	s.entries[k] = &storeEntry{Entry: e, gen: s.gen}
@@ -122,12 +130,30 @@ func (s *Store) Invalidate(k Key, gen uint64) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.entries[k]
-	if !ok || e.gen != gen {
+	if !ok || e.gen != gen || s.frozen {
 		return false
 	}
 	delete(s.entries, k)
 	s.counters.Invalidations++
 	return true
+}
+
+// Freeze makes the store read-only: Lookup keeps serving entries (without
+// consuming reuse budget), Commit and Invalidate become no-ops. A frozen
+// store's responses depend only on its contents, not on the order
+// concurrent sessions touch it — the property the deterministic
+// warm-started experiments harness relies on.
+func (s *Store) Freeze() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.frozen = true
+}
+
+// Thaw reverses Freeze.
+func (s *Store) Thaw() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.frozen = false
 }
 
 // Len reports the number of live entries.

@@ -209,11 +209,6 @@ func SSSP(input string, repeats int) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
-	dist := make([]uint64, g.N)
-	for i := range dist {
-		dist[i] = 1 << 30
-	}
-	dist[0] = 0
 	w := &Workload{
 		Name: "sssp", InputName: in.Name, Bin: bin,
 		FootprintWords: 3*g.M() + 2*g.N,
@@ -221,6 +216,13 @@ func SSSP(input string, repeats int) (*Workload, error) {
 		WorkPC:         workPC,
 	}
 	w.Setup = func(as *mem.AddrSpace, regs *[isa.NumRegs]uint64) {
+		// The kernel writes dist, so each process must map its own copy:
+		// workloads are shared across sessions by the build cache.
+		dist := make([]uint64, g.N)
+		for i := range dist {
+			dist[i] = 1 << 30
+		}
+		dist[0] = 0
 		regs[0] = as.Map("src", g.SrcOf).Base
 		regs[1] = as.Map("edge", g.Edges).Base
 		regs[2] = as.Map("weight", g.Weights).Base

@@ -77,6 +77,19 @@ func BuildWorkload(bench, input string) (*Workload, error) {
 	return workloads.Build(bench, input, 1<<30)
 }
 
+// WorkloadCache is a concurrency-safe build cache for workloads, keyed on
+// (benchmark, input, repeats). Fleets and the experiments harness layer on
+// it so the same graph is constructed once per process and shared immutably
+// across sessions.
+type WorkloadCache = workloads.BuildCache
+
+// NewWorkloadCache builds an empty, private workload build cache.
+func NewWorkloadCache() *WorkloadCache { return workloads.NewBuildCache() }
+
+// SharedWorkloadCache returns the process-wide workload build cache that
+// fleets use by default.
+func SharedWorkloadCache() *WorkloadCache { return workloads.SharedCache() }
+
 // Process is a running simulated program.
 type Process = proc.Process
 
@@ -117,6 +130,10 @@ type Config = rpgcore.Config
 
 // Report is the controller's account of one optimization session.
 type Report = rpgcore.Report
+
+// Measurement is a steady-state tail measurement of a running workload:
+// retired work, IPC, work rate, LLC MPKI and instructions per unit of work.
+type Measurement = rpgcore.Measurement
 
 // Outcome summarises what RPG² did to a target.
 type Outcome = rpgcore.Outcome
@@ -169,6 +186,11 @@ func DefaultExperiments() ExperimentOptions { return experiments.DefaultOptions(
 
 // QuickExperiments returns a reduced configuration for smoke runs.
 func QuickExperiments() ExperimentOptions { return experiments.QuickOptions() }
+
+// SmokeExperiments returns the smallest useful configuration: two tiny
+// inputs, one trial, short runs. CI uses it to exercise the whole pipeline
+// in seconds.
+func SmokeExperiments() ExperimentOptions { return experiments.SmokeOptions() }
 
 // NewExperiments builds the harness.
 func NewExperiments(opts ExperimentOptions) *Experiments { return experiments.NewRunner(opts) }
