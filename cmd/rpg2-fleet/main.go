@@ -9,6 +9,11 @@
 //
 //	rpg2-fleet -machine cascadelake -sessions 32 -workers 4
 //	rpg2-fleet -bench pr,bfs -pairs 4 -sessions 24 -journal
+//	rpg2-fleet -sessions 48 -faults 0.2 -retries 2 -quota 2
+//
+// SIGINT triggers a graceful shutdown: queued sessions are cancelled,
+// in-flight sessions drain, and the snapshot (and journal, if requested)
+// still prints.
 package main
 
 import (
@@ -16,25 +21,54 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"rpg2"
 )
 
+// options carries every CLI flag into run.
+type options struct {
+	machine  string
+	sessions int
+	workers  int
+	seconds  float64
+	seed     int64
+	benches  string
+	pairs    int
+	journal  bool
+	metrics  string
+	nostore  bool
+
+	// Admission & resilience knobs.
+	faults    float64
+	faultSeed int64
+	retries   int
+	quota     int
+	breaker   int
+}
+
 func main() {
-	machineName := flag.String("machine", "cascadelake", "machine: cascadelake or haswell")
-	sessions := flag.Int("sessions", 32, "number of optimization sessions to run")
-	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-	seconds := flag.Float64("seconds", 2, "simulated post-optimization run budget per session")
-	seed := flag.Int64("seed", 1, "root seed; session i uses seed+i")
-	benches := flag.String("bench", "all", "comma-separated benchmarks to draw from, or all")
-	pairs := flag.Int("pairs", 8, "limit of distinct (benchmark, input) pairs (0 = no limit)")
-	journal := flag.Bool("journal", false, "dump the event journal as JSON lines after the snapshot")
-	metrics := flag.String("metrics", "", "also write the metrics snapshot as JSON to this file (- for stdout)")
-	nostore := flag.Bool("no-store", false, "disable the profile store (every session cold)")
+	var o options
+	flag.StringVar(&o.machine, "machine", "cascadelake", "machine: cascadelake or haswell")
+	flag.IntVar(&o.sessions, "sessions", 32, "number of optimization sessions to run")
+	flag.IntVar(&o.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	flag.Float64Var(&o.seconds, "seconds", 2, "simulated post-optimization run budget per session")
+	flag.Int64Var(&o.seed, "seed", 1, "root seed; session i uses seed+i")
+	flag.StringVar(&o.benches, "bench", "all", "comma-separated benchmarks to draw from, or all")
+	flag.IntVar(&o.pairs, "pairs", 8, "limit of distinct (benchmark, input) pairs (0 = no limit)")
+	flag.BoolVar(&o.journal, "journal", false, "dump the event journal as JSON lines after the snapshot")
+	flag.StringVar(&o.metrics, "metrics", "", "also write the metrics snapshot as JSON to this file (- for stdout)")
+	flag.BoolVar(&o.nostore, "no-store", false, "disable the profile store (every session cold)")
+	flag.Float64Var(&o.faults, "faults", 0, "deterministic fault-injection rate per controller stage (0 = off)")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault injector seed")
+	flag.IntVar(&o.retries, "retries", 0, "retry budget for failed/rolled-back sessions (0 = no retry lane)")
+	flag.IntVar(&o.quota, "quota", 0, "max in-flight sessions per (benchmark, input) pair (0 = unlimited)")
+	flag.IntVar(&o.breaker, "breaker", 0, "consecutive rollbacks that trip a pair's circuit breaker (0 = off)")
 	flag.Parse()
 
-	if err := run(*machineName, *sessions, *workers, *seconds, *seed, *benches, *pairs, *journal, *metrics, *nostore); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "rpg2-fleet:", err)
 		os.Exit(1)
 	}
@@ -84,14 +118,12 @@ func catalogue(benches string, limit int) ([]rpg2.SessionSpec, error) {
 	return specs, nil
 }
 
-func run(machineName string, sessions, workers int, seconds float64, seed int64,
-	benches string, pairs int, journal bool, metrics string, nostore bool) error {
-
-	m, ok := rpg2.MachineByName(machineName)
+func run(o options) error {
+	m, ok := rpg2.MachineByName(o.machine)
 	if !ok {
-		return fmt.Errorf("unknown machine %q", machineName)
+		return fmt.Errorf("unknown machine %q", o.machine)
 	}
-	pool, err := catalogue(benches, pairs)
+	pool, err := catalogue(o.benches, o.pairs)
 	if err != nil {
 		return err
 	}
@@ -99,21 +131,41 @@ func run(machineName string, sessions, workers int, seconds float64, seed int64,
 		return fmt.Errorf("no (benchmark, input) pairs selected")
 	}
 
-	f := rpg2.NewFleet(rpg2.FleetConfig{
-		Machine:      m,
-		Workers:      workers,
-		RunSeconds:   seconds,
-		DisableStore: nostore,
-	})
+	cfg := rpg2.FleetConfig{
+		Machine:          m,
+		Workers:          o.workers,
+		RunSeconds:       o.seconds,
+		DisableStore:     o.nostore,
+		Quota:            o.quota,
+		MaxRetries:       o.retries,
+		BreakerThreshold: o.breaker,
+	}
+	if o.faults > 0 {
+		cfg.Faults = rpg2.NewFaultInjector(rpg2.FaultConfig{Seed: o.faultSeed, Rate: o.faults})
+	}
+	f := rpg2.NewFleet(cfg)
 	defer f.Close()
 
-	specs := make([]rpg2.SessionSpec, sessions)
+	// SIGINT: cancel everything still queued, let in-flight sessions drain,
+	// and fall through to the snapshot/journal printing below.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		if sig, ok := <-sigc; ok {
+			n := f.CancelQueued()
+			fmt.Fprintf(os.Stderr, "\nrpg2-fleet: %v: cancelled %d queued sessions, draining in-flight\n", sig, n)
+			signal.Stop(sigc) // a second signal kills the process normally
+		}
+	}()
+
+	specs := make([]rpg2.SessionSpec, o.sessions)
 	for i := range specs {
 		specs[i] = pool[i%len(pool)]
-		specs[i].Seed = seed + int64(i)
+		specs[i].Seed = o.seed + int64(i)
 	}
 	fmt.Printf("running %d sessions over %d (benchmark, input) pairs on %s\n\n",
-		sessions, len(pool), m.Name)
+		o.sessions, len(pool), m.Name)
 	if _, err := f.Run(specs); err != nil {
 		return err
 	}
@@ -124,16 +176,16 @@ func run(machineName string, sessions, workers int, seconds float64, seed int64,
 			fmt.Printf("session %d (%s/%s) failed: %v\n", s.ID, s.Spec.Bench, s.Spec.Input, err)
 		}
 	}
-	if journal {
+	if o.journal {
 		fmt.Println()
 		if err := f.Journal().WriteJSON(os.Stdout); err != nil {
 			return err
 		}
 	}
-	if metrics != "" {
+	if o.metrics != "" {
 		out := os.Stdout
-		if metrics != "-" {
-			file, err := os.Create(metrics)
+		if o.metrics != "-" {
+			file, err := os.Create(o.metrics)
 			if err != nil {
 				return err
 			}

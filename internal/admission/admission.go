@@ -1,0 +1,428 @@
+// Package admission is the fleet's scheduling and resilience layer: the
+// policy that decides which submitted session a free worker runs next. It
+// replaces the fleet's original FIFO channel with four cooperating
+// mechanisms:
+//
+//   - a priority scheduler: items carry an explicit priority, and waiting
+//     items age (one effective priority point per AgingStep dispatches), so
+//     low-priority work is delayed, never starved;
+//   - per-key admission quotas: at most Quota sessions per (bench, input)
+//     key in flight at once, so one workload cannot monopolise the pool;
+//   - a retry lane with capped exponential backoff, driven by a
+//     deterministic virtual clock (seconds that advance only when a
+//     dispatch consumes a backoff wait — never wall time), re-admitting
+//     failed and rolled-back sessions up to a per-session budget;
+//   - a per-key circuit breaker: after BreakerThreshold consecutive
+//     rollbacks a key's breaker opens and further breakable items are
+//     parked (the fleet turns them into Degraded sessions) until the
+//     virtual clock passes a cooldown, when one half-open trial is
+//     admitted; success closes the breaker, another rollback re-opens it.
+//
+// The queue is deliberately not self-locking: the fleet owns the mutex
+// that guards it (the queue state is entangled with the fleet's in-flight
+// accounting, so a private lock would only invite lock-order bugs).
+// Everything here is deterministic given the sequence of calls: no wall
+// clocks, no randomness.
+package admission
+
+import "sort"
+
+// Key is the quota and breaker domain: one (bench, input) workload.
+type Key struct {
+	Bench string
+	Input string
+}
+
+// Config tunes the scheduler. The zero value is a plain FIFO queue:
+// no quotas, no retries, no aging pressure, no breaker.
+type Config struct {
+	// Quota bounds in-flight items per key (0 = unlimited).
+	Quota int
+	// MaxRetries is the per-item retry budget (0 = no retry lane).
+	MaxRetries int
+	// BackoffBase is the first retry's backoff in virtual seconds
+	// (default 0.5); attempt n waits BackoffBase·2^(n-1), capped.
+	BackoffBase float64
+	// BackoffCap caps one backoff wait (default 8).
+	BackoffCap float64
+	// AgingStep is how many dispatches raise a waiting item's effective
+	// priority by one (default 8; negative disables aging).
+	AgingStep int
+	// BreakerThreshold is the consecutive-rollback count that trips a
+	// key's breaker (0 = breaker disabled).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open in
+	// virtual seconds before admitting a half-open trial (default 16).
+	BreakerCooldown float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BackoffBase == 0 {
+		c.BackoffBase = 0.5
+	}
+	if c.BackoffCap == 0 {
+		c.BackoffCap = 8
+	}
+	if c.AgingStep == 0 {
+		c.AgingStep = 8
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 16
+	}
+	return c
+}
+
+// Item is one schedulable unit. The fleet stores its *Session in Payload;
+// the queue never inspects it.
+type Item struct {
+	ID       int
+	Key      Key
+	Priority int
+	// Breakable items participate in the circuit breaker (the fleet sets
+	// this for optimize jobs; reference-scheme jobs pass through).
+	Breakable bool
+	Payload   any
+	// Attempt counts re-admissions through the retry lane (0 = first).
+	Attempt int
+
+	seq      int     // submission order, the FIFO tiebreak
+	waitedAt int     // dispatch-counter timestamp for aging
+	due      float64 // virtual due time while parked in the retry lane
+}
+
+// Decision is one dispatch: the item to run plus how it was admitted.
+type Decision struct {
+	Item *Item
+	// Parked: the item's breaker is open — the caller should terminate it
+	// as degraded instead of running it.
+	Parked bool
+	// HalfOpen: this dispatch is its breaker's single recovery trial.
+	HalfOpen bool
+	// Waited is the virtual time the clock advanced to release this item
+	// from the retry lane (0 for ready items).
+	Waited float64
+}
+
+// Outcome classifies a finished attempt for the breaker.
+type Outcome int
+
+const (
+	// Success: the session reached Done.
+	Success Outcome = iota
+	// Rollback: the controller injected code and rolled it back.
+	Rollback
+	// Failure: the session failed outright.
+	Failure
+)
+
+// Stats are the scheduler's cumulative policy counters.
+type Stats struct {
+	// Retries counts re-admissions through the retry lane.
+	Retries int
+	// BackoffWait is the total virtual seconds consumed by backoff.
+	BackoffWait float64
+	// QuotaStalls counts dispatch attempts that went empty-handed while
+	// work was queued, because every eligible item's key was at quota.
+	QuotaStalls int
+	// BreakerTrips counts breaker openings (including half-open re-trips).
+	BreakerTrips int
+	// Parked counts items dispatched as parked (degraded).
+	Parked int
+	// Clock is the current virtual time in seconds.
+	Clock float64
+}
+
+type breaker struct {
+	consecutive int // rollbacks since the last success
+	open        bool
+	halfOpen    bool    // a recovery trial is in flight
+	reopenAt    float64 // virtual time the cooldown expires
+}
+
+// Queue is the scheduler. It is not self-locking: the caller must guard
+// every method with one mutex (the fleet uses its own).
+type Queue struct {
+	cfg Config
+
+	ready    []*Item // scanned for the best effective priority
+	retries  []*Item // retry lane, kept sorted by due time
+	inflight map[Key]int
+	breakers map[Key]*breaker
+
+	clock      float64
+	dispatches int
+	seq        int
+	stats      Stats
+}
+
+// NewQueue builds an empty scheduler.
+func NewQueue(cfg Config) *Queue {
+	return &Queue{
+		cfg:      cfg.withDefaults(),
+		inflight: make(map[Key]int),
+		breakers: make(map[Key]*breaker),
+	}
+}
+
+// Push admits a new item. The zero-config queue dispatches in push order.
+func (q *Queue) Push(it *Item) {
+	it.seq = q.seq
+	q.seq++
+	it.waitedAt = q.dispatches
+	q.ready = append(q.ready, it)
+}
+
+// Len is the number of items waiting (ready + retry lane).
+func (q *Queue) Len() int { return len(q.ready) + len(q.retries) }
+
+// Empty reports whether nothing is waiting anywhere.
+func (q *Queue) Empty() bool { return q.Len() == 0 }
+
+// Clock returns the virtual time in seconds.
+func (q *Queue) Clock() float64 { return q.clock }
+
+// Stats returns the cumulative policy counters.
+func (q *Queue) Stats() Stats {
+	s := q.stats
+	s.Clock = q.clock
+	return s
+}
+
+// OpenBreakers counts keys whose breaker is currently open.
+func (q *Queue) OpenBreakers() int {
+	n := 0
+	for _, b := range q.breakers {
+		if b.open {
+			n++
+		}
+	}
+	return n
+}
+
+// quotaFull reports whether a key has no in-flight slot left.
+func (q *Queue) quotaFull(k Key) bool {
+	return q.cfg.Quota > 0 && q.inflight[k] >= q.cfg.Quota
+}
+
+// effective is an item's aged priority: explicit priority plus one point
+// per AgingStep dispatches spent waiting.
+func (q *Queue) effective(it *Item) int {
+	if q.cfg.AgingStep < 0 {
+		return it.Priority
+	}
+	return it.Priority + (q.dispatches-it.waitedAt)/q.cfg.AgingStep
+}
+
+// promoteDue moves retry-lane items whose due time has arrived into the
+// ready queue (aging restarts from promotion).
+func (q *Queue) promoteDue() {
+	kept := q.retries[:0]
+	for _, it := range q.retries {
+		if it.due <= q.clock {
+			it.waitedAt = q.dispatches
+			q.ready = append(q.ready, it)
+		} else {
+			kept = append(kept, it)
+		}
+	}
+	q.retries = kept
+}
+
+// pick scans the ready queue for the best admissible item. It reports
+// whether a quota ceiling (rather than emptiness) blocked the dispatch.
+func (q *Queue) pick() (best *Item, quotaBlocked bool) {
+	bestEff := 0
+	for _, it := range q.ready {
+		if q.quotaFull(it.Key) {
+			quotaBlocked = true
+			continue
+		}
+		eff := q.effective(it)
+		if best == nil || eff > bestEff || (eff == bestEff && it.seq < best.seq) {
+			best, bestEff = it, eff
+		}
+	}
+	return best, quotaBlocked
+}
+
+// remove drops an item from the ready queue.
+func (q *Queue) remove(it *Item) {
+	for i, r := range q.ready {
+		if r == it {
+			q.ready = append(q.ready[:i], q.ready[i+1:]...)
+			return
+		}
+	}
+}
+
+// dispatch finalises a pick: quota accounting, breaker parking, counters.
+func (q *Queue) dispatch(it *Item, waited float64) (Decision, bool) {
+	q.remove(it)
+	q.inflight[it.Key]++
+	q.dispatches++
+	d := Decision{Item: it, Waited: waited}
+	if it.Breakable && q.cfg.BreakerThreshold > 0 {
+		if b := q.breakers[it.Key]; b != nil && b.open {
+			switch {
+			case q.clock >= b.reopenAt && !b.halfOpen:
+				b.halfOpen = true
+				d.HalfOpen = true
+			default:
+				d.Parked = true
+				q.stats.Parked++
+			}
+		}
+	}
+	return d, true
+}
+
+// Pop hands the caller the next dispatch, if any. When nothing is ready
+// but the retry lane holds an admissible item, the virtual clock jumps to
+// its due time — the deterministic stand-in for sleeping out the backoff.
+// A false return means the caller must wait for an in-flight completion
+// (quota or breaker-trial slots to free) or for new submissions.
+func (q *Queue) Pop() (Decision, bool) {
+	q.promoteDue()
+	if it, _ := q.pick(); it != nil {
+		return q.dispatch(it, 0)
+	}
+	// Nothing ready: advance the clock to the earliest retry whose key
+	// has a free slot, if any. The lane is sorted by due time, so the
+	// first admissible item is the one a real scheduler would wake for.
+	for _, it := range q.retries {
+		if q.quotaFull(it.Key) {
+			continue
+		}
+		waited := it.due - q.clock
+		if waited < 0 {
+			waited = 0
+		}
+		q.clock = it.due
+		q.stats.BackoffWait += waited
+		q.promoteDue()
+		if picked, _ := q.pick(); picked != nil {
+			return q.dispatch(picked, waited)
+		}
+		break
+	}
+	if _, quotaBlocked := q.pick(); quotaBlocked || q.blockedRetries() {
+		q.stats.QuotaStalls++
+	}
+	return Decision{}, false
+}
+
+// blockedRetries reports whether the retry lane is non-empty but entirely
+// quota-blocked.
+func (q *Queue) blockedRetries() bool {
+	for _, it := range q.retries {
+		if q.quotaFull(it.Key) {
+			return true
+		}
+	}
+	return false
+}
+
+// Evict removes and returns one waiting item — ready queue first in
+// submission order, then the retry lane — without dispatching it. It is
+// the cancellation path for graceful shutdown. ok=false when nothing is
+// waiting.
+func (q *Queue) Evict() (*Item, bool) {
+	if len(q.ready) > 0 {
+		it := q.ready[0]
+		q.ready = q.ready[1:]
+		return it, true
+	}
+	if len(q.retries) > 0 {
+		it := q.retries[0]
+		q.retries = q.retries[1:]
+		return it, true
+	}
+	return nil, false
+}
+
+// Release returns an item's quota slot; call once per Pop'd item after it
+// finishes (or is parked).
+func (q *Queue) Release(k Key) {
+	if q.inflight[k] > 0 {
+		q.inflight[k]--
+	}
+}
+
+// Backoff returns the wait attempt n (1-based) would be scheduled with.
+func (q *Queue) Backoff(attempt int) float64 {
+	b := q.cfg.BackoffBase
+	for i := 1; i < attempt; i++ {
+		b *= 2
+		if b >= q.cfg.BackoffCap {
+			return q.cfg.BackoffCap
+		}
+	}
+	if b > q.cfg.BackoffCap {
+		b = q.cfg.BackoffCap
+	}
+	return b
+}
+
+// Retry re-admits a finished item through the backoff lane. It reports
+// the backoff wait and due time, or ok=false when the retry budget is
+// spent (or the lane is disabled). The item's Attempt is incremented.
+func (q *Queue) Retry(it *Item) (backoff, due float64, ok bool) {
+	if q.cfg.MaxRetries <= 0 || it.Attempt >= q.cfg.MaxRetries {
+		return 0, 0, false
+	}
+	it.Attempt++
+	backoff = q.Backoff(it.Attempt)
+	it.due = q.clock + backoff
+	q.retries = append(q.retries, it)
+	sort.SliceStable(q.retries, func(i, j int) bool {
+		return q.retries[i].due < q.retries[j].due
+	})
+	q.stats.Retries++
+	return backoff, it.due, true
+}
+
+// Report feeds a finished attempt's outcome to its key's breaker and
+// reports whether that opened or closed it. Non-breakable items must not
+// be reported.
+func (q *Queue) Report(k Key, o Outcome) (opened, closed bool) {
+	if q.cfg.BreakerThreshold <= 0 {
+		return false, false
+	}
+	b := q.breakers[k]
+	if b == nil {
+		b = &breaker{}
+		q.breakers[k] = b
+	}
+	switch o {
+	case Success:
+		b.consecutive = 0
+		if b.open {
+			b.open, b.halfOpen = false, false
+			closed = true
+		}
+	case Rollback:
+		b.consecutive++
+		switch {
+		case b.open && b.halfOpen:
+			// The recovery trial rolled back: stay open, restart cooldown.
+			b.halfOpen = false
+			b.reopenAt = q.clock + q.cfg.BreakerCooldown
+			q.stats.BreakerTrips++
+			opened = true
+		case !b.open && b.consecutive >= q.cfg.BreakerThreshold:
+			b.open = true
+			b.reopenAt = q.clock + q.cfg.BreakerCooldown
+			q.stats.BreakerTrips++
+			opened = true
+		}
+	case Failure:
+		if b.open && b.halfOpen {
+			// A failed trial proves nothing good: re-arm the cooldown.
+			b.halfOpen = false
+			b.reopenAt = q.clock + q.cfg.BreakerCooldown
+			q.stats.BreakerTrips++
+			opened = true
+		}
+	}
+	return opened, closed
+}

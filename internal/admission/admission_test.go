@@ -1,0 +1,349 @@
+package admission
+
+import "testing"
+
+func item(id int, k Key, prio int) *Item {
+	return &Item{ID: id, Key: k, Priority: prio, Breakable: true}
+}
+
+// popID pops and returns the dispatched item's ID, failing if the queue had
+// nothing to give.
+func popID(t *testing.T, q *Queue) int {
+	t.Helper()
+	d, ok := q.Pop()
+	if !ok {
+		t.Fatalf("Pop: queue unexpectedly empty (len=%d)", q.Len())
+	}
+	return d.Item.ID
+}
+
+func TestZeroConfigIsFIFO(t *testing.T) {
+	q := NewQueue(Config{})
+	for i := 0; i < 8; i++ {
+		q.Push(item(i, Key{Bench: "pr"}, 0))
+	}
+	for i := 0; i < 8; i++ {
+		if got := popID(t, q); got != i {
+			t.Fatalf("dispatch %d: got item %d, want FIFO order", i, got)
+		}
+		q.Release(Key{Bench: "pr"})
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop succeeded on an empty queue")
+	}
+	s := q.Stats()
+	if s.Retries != 0 || s.QuotaStalls != 0 || s.BreakerTrips != 0 || s.Clock != 0 {
+		t.Fatalf("zero-config queue accrued policy stats: %+v", s)
+	}
+}
+
+func TestPriorityOrderWithFIFOTiebreak(t *testing.T) {
+	q := NewQueue(Config{AgingStep: -1}) // isolate explicit priority
+	q.Push(item(0, Key{Bench: "a"}, 0))
+	q.Push(item(1, Key{Bench: "b"}, 5))
+	q.Push(item(2, Key{Bench: "c"}, 5))
+	q.Push(item(3, Key{Bench: "d"}, 1))
+	want := []int{1, 2, 3, 0} // high priority first, equal priority by seq
+	for i, w := range want {
+		if got := popID(t, q); got != w {
+			t.Fatalf("dispatch %d: got item %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestAgingPreventsStarvation(t *testing.T) {
+	// A priority-0 item waits while priority-10 items keep arriving; with
+	// AgingStep=2 its effective priority gains a point every 2 dispatches,
+	// so it must win within a bounded number of rounds.
+	q := NewQueue(Config{AgingStep: 2})
+	low := item(999, Key{Bench: "low"}, 0)
+	q.Push(low)
+	next := 0
+	for round := 0; round < 40; round++ {
+		q.Push(item(next, Key{Bench: "hi"}, 10))
+		next++
+		if popID(t, q) == 999 {
+			return // the starved item finally dispatched
+		}
+	}
+	t.Fatal("low-priority item starved for 40 rounds despite aging")
+}
+
+func TestAgingDisabled(t *testing.T) {
+	q := NewQueue(Config{AgingStep: -1})
+	low := item(999, Key{Bench: "low"}, 0)
+	q.Push(low)
+	next := 0
+	for round := 0; round < 40; round++ {
+		q.Push(item(next, Key{Bench: "hi"}, 10))
+		next++
+		if popID(t, q) == 999 {
+			t.Fatalf("round %d: aged item dispatched with aging disabled", round)
+		}
+	}
+}
+
+func TestQuotaBoundsInflightPerKey(t *testing.T) {
+	q := NewQueue(Config{Quota: 2})
+	k := Key{Bench: "pr", Input: "soc"}
+	other := Key{Bench: "bfs"}
+	for i := 0; i < 4; i++ {
+		q.Push(item(i, k, 0))
+	}
+	q.Push(item(10, other, 0))
+
+	if got := popID(t, q); got != 0 {
+		t.Fatalf("first dispatch: got %d", got)
+	}
+	if got := popID(t, q); got != 1 {
+		t.Fatalf("second dispatch: got %d", got)
+	}
+	// k is at quota: the other key's item dispatches instead.
+	if got := popID(t, q); got != 10 {
+		t.Fatalf("third dispatch: got %d, want the unblocked key's item", got)
+	}
+	// Everything left is quota-blocked: Pop stalls and counts it.
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop dispatched past the quota ceiling")
+	}
+	if s := q.Stats(); s.QuotaStalls != 1 {
+		t.Fatalf("QuotaStalls = %d, want 1", s.QuotaStalls)
+	}
+	// Releasing one slot frees the next item.
+	q.Release(k)
+	if got := popID(t, q); got != 2 {
+		t.Fatalf("post-release dispatch: got %d, want 2", got)
+	}
+}
+
+func TestRetryBackoffAndVirtualClock(t *testing.T) {
+	q := NewQueue(Config{MaxRetries: 3, BackoffBase: 0.5, BackoffCap: 8})
+	it := item(1, Key{Bench: "pr"}, 0)
+	q.Push(it)
+	d, _ := q.Pop()
+	q.Release(d.Item.Key)
+
+	// First retry: 0.5 s backoff from clock 0.
+	backoff, due, ok := q.Retry(it)
+	if !ok || backoff != 0.5 || due != 0.5 {
+		t.Fatalf("retry 1: backoff=%v due=%v ok=%v, want 0.5/0.5/true", backoff, due, ok)
+	}
+	if it.Attempt != 1 {
+		t.Fatalf("Attempt = %d, want 1", it.Attempt)
+	}
+	// Nothing ready: Pop must jump the virtual clock to the due time.
+	d, ok = q.Pop()
+	if !ok || d.Item != it {
+		t.Fatal("retry item did not dispatch")
+	}
+	if d.Waited != 0.5 || q.Clock() != 0.5 {
+		t.Fatalf("waited=%v clock=%v, want 0.5/0.5", d.Waited, q.Clock())
+	}
+	q.Release(d.Item.Key)
+
+	// Exponential doubling: attempt 2 waits 1.0 s.
+	if backoff, due, _ = q.Retry(it); backoff != 1.0 || due != 1.5 {
+		t.Fatalf("retry 2: backoff=%v due=%v, want 1.0/1.5", backoff, due)
+	}
+	d, _ = q.Pop()
+	q.Release(d.Item.Key)
+	// Attempt 3 waits 2.0 s and exhausts the budget.
+	if backoff, _, _ = q.Retry(it); backoff != 2.0 {
+		t.Fatalf("retry 3: backoff=%v, want 2.0", backoff)
+	}
+	d, _ = q.Pop()
+	q.Release(d.Item.Key)
+	if _, _, ok = q.Retry(it); ok {
+		t.Fatal("retry 4 admitted past MaxRetries=3")
+	}
+
+	s := q.Stats()
+	if s.Retries != 3 {
+		t.Fatalf("Retries = %d, want 3", s.Retries)
+	}
+	if s.BackoffWait != 3.5 {
+		t.Fatalf("BackoffWait = %v, want 3.5", s.BackoffWait)
+	}
+	if s.Clock != 3.5 {
+		t.Fatalf("Clock = %v, want 3.5", s.Clock)
+	}
+}
+
+func TestBackoffCap(t *testing.T) {
+	q := NewQueue(Config{MaxRetries: 10, BackoffBase: 1, BackoffCap: 4})
+	waits := []float64{1, 2, 4, 4, 4}
+	for i, want := range waits {
+		if got := q.Backoff(i + 1); got != want {
+			t.Fatalf("Backoff(%d) = %v, want %v", i+1, got, want)
+		}
+	}
+}
+
+func TestRetryDisabledByDefault(t *testing.T) {
+	q := NewQueue(Config{})
+	it := item(1, Key{}, 0)
+	q.Push(it)
+	q.Pop()
+	if _, _, ok := q.Retry(it); ok {
+		t.Fatal("zero-config queue admitted a retry")
+	}
+}
+
+func TestBreakerTripParkHalfOpenClose(t *testing.T) {
+	q := NewQueue(Config{BreakerThreshold: 2, BreakerCooldown: 4, MaxRetries: 1})
+	k := Key{Bench: "pr", Input: "soc"}
+
+	// Two consecutive rollbacks trip the breaker.
+	if opened, _ := q.Report(k, Rollback); opened {
+		t.Fatal("breaker tripped after one rollback")
+	}
+	opened, _ := q.Report(k, Rollback)
+	if !opened {
+		t.Fatal("breaker did not trip at the threshold")
+	}
+	if q.OpenBreakers() != 1 {
+		t.Fatalf("OpenBreakers = %d, want 1", q.OpenBreakers())
+	}
+
+	// Before the cooldown expires, breakable items park.
+	q.Push(item(1, k, 0))
+	d, ok := q.Pop()
+	if !ok || !d.Parked {
+		t.Fatalf("expected a parked dispatch, got %+v ok=%v", d, ok)
+	}
+	q.Release(k)
+	if s := q.Stats(); s.Parked != 1 || s.BreakerTrips != 1 {
+		t.Fatalf("stats after park: %+v", s)
+	}
+
+	// Push the clock past reopenAt via a retry wait, then the next
+	// dispatch is the single half-open trial.
+	probe := item(2, k, 0)
+	q.Push(probe)
+	d, _ = q.Pop()
+	q.Release(k)
+	if !d.Parked { // clock still 0 < reopenAt 4
+		t.Fatal("pre-cooldown dispatch was not parked")
+	}
+	if _, _, ok := q.Retry(probe); !ok {
+		t.Fatal("retry refused")
+	}
+	q.cfg.BackoffBase = 0 // keep the test's arithmetic simple below
+	q.clock = 5           // cooldown (reopenAt=4) has expired
+	d, ok = q.Pop()
+	if !ok || d.Parked || !d.HalfOpen {
+		t.Fatalf("expected the half-open trial, got %+v ok=%v", d, ok)
+	}
+	// While the trial is in flight, further items still park.
+	q.Push(item(3, k, 0))
+	d2, _ := q.Pop()
+	if !d2.Parked {
+		t.Fatal("second dispatch during half-open trial was not parked")
+	}
+	q.Release(k)
+	q.Release(k)
+
+	// The trial succeeds: breaker closes.
+	if _, closed := q.Report(k, Success); !closed {
+		t.Fatal("successful trial did not close the breaker")
+	}
+	if q.OpenBreakers() != 0 {
+		t.Fatal("breaker still open after close")
+	}
+	q.Push(item(4, k, 0))
+	if d, _ := q.Pop(); d.Parked {
+		t.Fatal("dispatch parked after the breaker closed")
+	}
+}
+
+func TestBreakerHalfOpenRollbackReopens(t *testing.T) {
+	q := NewQueue(Config{BreakerThreshold: 1, BreakerCooldown: 4})
+	k := Key{Bench: "bc"}
+	if opened, _ := q.Report(k, Rollback); !opened {
+		t.Fatal("threshold-1 breaker did not trip")
+	}
+	q.clock = 10
+	q.Push(item(1, k, 0))
+	d, _ := q.Pop()
+	if !d.HalfOpen {
+		t.Fatal("post-cooldown dispatch was not the half-open trial")
+	}
+	q.Release(k)
+	opened, _ := q.Report(k, Rollback)
+	if !opened {
+		t.Fatal("rolled-back trial did not re-open the breaker")
+	}
+	// The cooldown restarted: items park again.
+	q.Push(item(2, k, 0))
+	if d, _ := q.Pop(); !d.Parked {
+		t.Fatal("dispatch after a failed trial was not parked")
+	}
+	if s := q.Stats(); s.BreakerTrips != 2 {
+		t.Fatalf("BreakerTrips = %d, want 2", s.BreakerTrips)
+	}
+}
+
+func TestNonBreakableItemsIgnoreOpenBreaker(t *testing.T) {
+	q := NewQueue(Config{BreakerThreshold: 1})
+	k := Key{Bench: "pr"}
+	q.Report(k, Rollback)
+	it := item(1, k, 0)
+	it.Breakable = false // e.g. a baseline or sweep job on the same pair
+	q.Push(it)
+	if d, _ := q.Pop(); d.Parked {
+		t.Fatal("non-breakable item was parked")
+	}
+}
+
+func TestEvictDrainsReadyThenRetries(t *testing.T) {
+	q := NewQueue(Config{MaxRetries: 2})
+	a := item(1, Key{Bench: "a"}, 0)
+	b := item(2, Key{Bench: "b"}, 0)
+	q.Push(a)
+	q.Push(b)
+	d, _ := q.Pop() // dispatch a
+	q.Release(d.Item.Key)
+	q.Retry(a) // a now sits in the retry lane
+
+	if it, ok := q.Evict(); !ok || it != b {
+		t.Fatalf("first evict: got %v ok=%v, want the ready item", it, ok)
+	}
+	if it, ok := q.Evict(); !ok || it != a {
+		t.Fatalf("second evict: got %v ok=%v, want the retry-lane item", it, ok)
+	}
+	if _, ok := q.Evict(); ok {
+		t.Fatal("evict succeeded on an empty queue")
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty after full eviction")
+	}
+}
+
+func TestQuotaBlockedRetryDoesNotAdvanceClock(t *testing.T) {
+	q := NewQueue(Config{Quota: 1, MaxRetries: 2})
+	k := Key{Bench: "pr"}
+	a := item(1, k, 0)
+	b := item(2, k, 0)
+	q.Push(b)
+	q.Pop() // b runs once...
+	q.Release(k)
+	q.Retry(b) // ...and lands in the retry lane
+	q.Push(a)
+	q.Pop() // a in flight, holding k's only slot
+	// b waits in the retry lane but its key is at quota: the clock must
+	// not jump, and Pop must report a stall.
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop dispatched a quota-blocked retry")
+	}
+	if q.Clock() != 0 {
+		t.Fatalf("clock advanced to %v for a quota-blocked retry", q.Clock())
+	}
+	q.Release(k)
+	d, ok := q.Pop()
+	if !ok || d.Item != b {
+		t.Fatal("released slot did not admit the retry")
+	}
+	if q.Clock() == 0 {
+		t.Fatal("clock did not advance when the retry became admissible")
+	}
+}

@@ -1,0 +1,162 @@
+// Package faults is a seeded, deterministic fault injector for the fleet's
+// resilience machinery. The RPG² controller exposes three injection
+// boundaries — profile collection, the BOLT rewrite, and runtime code
+// insertion (OSR) — and an Injector decides, purely from (injector seed,
+// session seed, attempt, stage), whether each boundary fails. The decision
+// is a hash, not a shared RNG stream, so it is independent of worker count
+// and scheduling order: the same specs fail the same way no matter how the
+// fleet interleaves them, which is what makes retry and circuit-breaker
+// behaviour testable at all.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Stage names one controller boundary the injector can fail.
+type Stage string
+
+// The three injection boundaries, in controller phase order.
+const (
+	// StageProfile fails at the end of PEBS sample collection.
+	StageProfile Stage = "profile"
+	// StageRewrite fails the background BOLT InjectPrefetchPass.
+	StageRewrite Stage = "rewrite"
+	// StageOSR fails runtime code insertion / on-stack replacement.
+	StageOSR Stage = "osr"
+)
+
+// Stages lists the boundaries in controller phase order.
+func Stages() []Stage { return []Stage{StageProfile, StageRewrite, StageOSR} }
+
+// stageIndex gives each stage a stable hash discriminator.
+func stageIndex(s Stage) uint64 {
+	switch s {
+	case StageProfile:
+		return 1
+	case StageRewrite:
+		return 2
+	case StageOSR:
+		return 3
+	}
+	return 0
+}
+
+// Error is an injected fault. It is a distinct type so the fleet can tell
+// injected failures from organic ones (build errors, crashed targets) when
+// deciding what a retry is worth.
+type Error struct {
+	Stage   Stage
+	Seed    int64
+	Attempt int
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faults: injected %s fault (session seed %d, attempt %d)",
+		e.Stage, e.Seed, e.Attempt)
+}
+
+// Injected reports whether err is (or wraps) an injected fault.
+func Injected(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe)
+}
+
+// Config tunes an Injector.
+type Config struct {
+	// Seed drives every injection decision; two injectors with the same
+	// Seed and rates make identical decisions.
+	Seed int64
+	// Rate is the per-stage failure probability applied to every stage
+	// without an explicit override (0 = never, 1 = always).
+	Rate float64
+	// Rates overrides Rate per stage.
+	Rates map[Stage]float64
+}
+
+// Injector makes deterministic per-(session, attempt, stage) failure
+// decisions and counts what it injected. It is safe for concurrent use.
+type Injector struct {
+	cfg Config
+
+	mu       sync.Mutex
+	injected map[Stage]int
+}
+
+// New builds an injector.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, injected: make(map[Stage]int)}
+}
+
+func (i *Injector) rate(stage Stage) float64 {
+	if r, ok := i.cfg.Rates[stage]; ok {
+		return r
+	}
+	return i.cfg.Rate
+}
+
+// splitmix64's finalizer: a cheap, well-mixed avalanche step.
+func mix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// hash01 folds the parts into a uniform value in [0, 1).
+func hash01(parts ...uint64) float64 {
+	h := uint64(0x8A5CD789635D2DFF)
+	for _, p := range parts {
+		h = mix(h ^ p)
+	}
+	return float64(h>>11) / float64(uint64(1)<<53)
+}
+
+// Check decides whether the given stage fails for one session attempt,
+// returning the injected *Error or nil. The decision depends only on the
+// injector seed, the rates, and the arguments.
+func (i *Injector) Check(stage Stage, sessionSeed int64, attempt int) error {
+	r := i.rate(stage)
+	if r <= 0 {
+		return nil
+	}
+	if r < 1 && hash01(uint64(i.cfg.Seed), uint64(sessionSeed), uint64(attempt), stageIndex(stage)) >= r {
+		return nil
+	}
+	i.mu.Lock()
+	i.injected[stage]++
+	i.mu.Unlock()
+	return &Error{Stage: stage, Seed: sessionSeed, Attempt: attempt}
+}
+
+// Hook binds the injector to one session attempt in the shape the
+// controller's Config.FaultHook expects.
+func (i *Injector) Hook(sessionSeed int64, attempt int) func(stage string) error {
+	return func(stage string) error {
+		return i.Check(Stage(stage), sessionSeed, attempt)
+	}
+}
+
+// Injected returns the total number of faults injected so far.
+func (i *Injector) Injected() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	n := 0
+	for _, c := range i.injected {
+		n += c
+	}
+	return n
+}
+
+// ByStage returns a copy of the per-stage injection counts.
+func (i *Injector) ByStage() map[Stage]int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make(map[Stage]int, len(i.injected))
+	for s, c := range i.injected {
+		out[s] = c
+	}
+	return out
+}

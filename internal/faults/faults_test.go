@@ -1,0 +1,134 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestDecisionsAreDeterministic(t *testing.T) {
+	a := New(Config{Seed: 42, Rate: 0.3})
+	b := New(Config{Seed: 42, Rate: 0.3})
+	for seed := int64(0); seed < 200; seed++ {
+		for attempt := 0; attempt < 3; attempt++ {
+			for _, st := range Stages() {
+				ea := a.Check(st, seed, attempt)
+				eb := b.Check(st, seed, attempt)
+				if (ea == nil) != (eb == nil) {
+					t.Fatalf("divergent decision at (%v, %d, %d)", st, seed, attempt)
+				}
+			}
+		}
+	}
+	if a.Injected() != b.Injected() {
+		t.Fatalf("injected counts diverge: %d vs %d", a.Injected(), b.Injected())
+	}
+	if a.Injected() == 0 {
+		t.Fatal("rate 0.3 over 1800 decisions injected nothing")
+	}
+}
+
+func TestDecisionsVaryAcrossInputs(t *testing.T) {
+	// The decision must actually depend on each argument: different seeds,
+	// attempts, and stages should not all share one fate.
+	i := New(Config{Seed: 7, Rate: 0.5})
+	seen := map[bool]bool{}
+	for seed := int64(0); seed < 32; seed++ {
+		seen[i.Check(StageOSR, seed, 0) != nil] = true
+	}
+	if len(seen) != 2 {
+		t.Fatal("varying the session seed never changed the decision")
+	}
+	seen = map[bool]bool{}
+	for attempt := 0; attempt < 32; attempt++ {
+		seen[i.Check(StageRewrite, 1, attempt) != nil] = true
+	}
+	if len(seen) != 2 {
+		t.Fatal("varying the attempt never changed the decision")
+	}
+}
+
+func TestRateExtremes(t *testing.T) {
+	never := New(Config{Seed: 1, Rate: 0})
+	always := New(Config{Seed: 1, Rate: 1})
+	for seed := int64(0); seed < 50; seed++ {
+		if err := never.Check(StageProfile, seed, 0); err != nil {
+			t.Fatalf("rate 0 injected a fault: %v", err)
+		}
+		if err := always.Check(StageProfile, seed, 0); err == nil {
+			t.Fatal("rate 1 let a stage pass")
+		}
+	}
+	if never.Injected() != 0 || always.Injected() != 50 {
+		t.Fatalf("counts: never=%d always=%d", never.Injected(), always.Injected())
+	}
+}
+
+func TestRateFrequency(t *testing.T) {
+	// Over many independent decisions the empirical rate should sit near
+	// the configured one (binomial: n=3000, p=0.2, sd≈0.0073).
+	i := New(Config{Seed: 99, Rate: 0.2})
+	n := 0
+	for seed := int64(0); seed < 1000; seed++ {
+		for _, st := range Stages() {
+			if i.Check(st, seed, 0) != nil {
+				n++
+			}
+		}
+	}
+	got := float64(n) / 3000
+	if math.Abs(got-0.2) > 0.05 {
+		t.Fatalf("empirical rate %.3f far from configured 0.2", got)
+	}
+}
+
+func TestPerStageRateOverride(t *testing.T) {
+	i := New(Config{Seed: 3, Rate: 1, Rates: map[Stage]float64{StageOSR: 0}})
+	if i.Check(StageProfile, 1, 0) == nil {
+		t.Fatal("default rate 1 did not fire")
+	}
+	if err := i.Check(StageOSR, 1, 0); err != nil {
+		t.Fatalf("per-stage rate 0 fired: %v", err)
+	}
+	by := i.ByStage()
+	if by[StageProfile] != 1 || by[StageOSR] != 0 {
+		t.Fatalf("ByStage: %v", by)
+	}
+}
+
+func TestInjectedErrorIdentity(t *testing.T) {
+	i := New(Config{Seed: 1, Rate: 1})
+	err := i.Check(StageRewrite, 5, 2)
+	if err == nil {
+		t.Fatal("no fault at rate 1")
+	}
+	if !Injected(err) {
+		t.Fatal("Injected rejected a raw injected error")
+	}
+	wrapped := fmt.Errorf("rpg2: rewrite stage: %w", err)
+	if !Injected(wrapped) {
+		t.Fatal("Injected rejected a wrapped injected error")
+	}
+	if Injected(fmt.Errorf("organic failure")) {
+		t.Fatal("Injected accepted an organic error")
+	}
+	var fe *Error
+	if msg := err.Error(); msg == "" {
+		t.Fatal("empty error message")
+	} else if fe, _ = err.(*Error); fe.Stage != StageRewrite || fe.Seed != 5 || fe.Attempt != 2 {
+		t.Fatalf("error fields: %+v", fe)
+	}
+}
+
+func TestHookMatchesCheck(t *testing.T) {
+	a := New(Config{Seed: 11, Rate: 0.4})
+	b := New(Config{Seed: 11, Rate: 0.4})
+	for seed := int64(0); seed < 100; seed++ {
+		hook := a.Hook(seed, 1)
+		for _, st := range Stages() {
+			if (hook(string(st)) != nil) != (b.Check(st, seed, 1) != nil) {
+				t.Fatalf("Hook and Check disagree at (%v, %d)", st, seed)
+			}
+		}
+	}
+}

@@ -14,7 +14,9 @@ import (
 	"sync"
 	"time"
 
+	"rpg2/internal/admission"
 	"rpg2/internal/baselines"
+	"rpg2/internal/faults"
 	"rpg2/internal/machine"
 	rpgcore "rpg2/internal/rpg2"
 	"rpg2/internal/workloads"
@@ -26,7 +28,8 @@ type State uint8
 // Session lifecycle states. Profiling/Rewriting/Tuning track the
 // controller's phases via its OnPhase hook; Done covers the tuned,
 // not-activated and target-exited outcomes, RolledBack and Failed are the
-// two unhappy endings.
+// two unhappy endings, and Degraded marks a session parked by an open
+// circuit breaker without ever running.
 const (
 	Queued State = iota
 	Profiling
@@ -35,6 +38,7 @@ const (
 	Done
 	RolledBack
 	Failed
+	Degraded
 )
 
 func (s State) String() string {
@@ -53,23 +57,34 @@ func (s State) String() string {
 		return "rolled-back"
 	case Failed:
 		return "failed"
+	case Degraded:
+		return "degraded"
 	}
 	return fmt.Sprintf("state(%d)", uint8(s))
 }
 
 // Terminal reports whether a session in this state is finished.
-func (s State) Terminal() bool { return s == Done || s == RolledBack || s == Failed }
+func (s State) Terminal() bool {
+	return s == Done || s == RolledBack || s == Failed || s == Degraded
+}
 
 // legalNext enumerates the state machine's edges. Profiling may jump
 // straight to Done (not enough samples → not-activated) and any live state
-// may fail; everything else moves strictly forward.
+// may fail; everything else moves strictly forward — except the retry
+// lane's re-admission edges (Failed → Queued, RolledBack → Queued), which
+// start a fresh attempt. Within one attempt, states only advance.
 var legalNext = map[State][]State{
 	// Queued -> Done covers a target that exits during init-wait,
-	// before the controller's first phase hook fires.
-	Queued:    {Profiling, Done, Failed},
+	// before the controller's first phase hook fires; Queued -> Degraded
+	// is a session parked by an open circuit breaker.
+	Queued:    {Profiling, Done, Failed, Degraded},
 	Profiling: {Rewriting, Tuning, Done, RolledBack, Failed},
 	Rewriting: {Tuning, Done, RolledBack, Failed},
 	Tuning:    {Done, RolledBack, Failed},
+	// Retry re-admissions: a failed or rolled-back attempt re-enters the
+	// queue as a cold re-profile attempt.
+	Failed:     {Queued},
+	RolledBack: {Queued},
 }
 
 // Kind selects what a fleet session does with its target. The zero value
@@ -121,6 +136,11 @@ type SessionSpec struct {
 	Input string
 	// Kind selects the job type (default OptimizeJob).
 	Kind Kind
+	// Priority orders admission: higher-priority sessions dispatch first.
+	// Equal priorities dispatch in submission order, and waiting sessions
+	// age (Config.AgingStep) so low priority delays work but cannot
+	// starve it.
+	Priority int
 	// Machine, when non-nil, overrides the fleet's machine for this
 	// session. The profile store is keyed on the effective machine, so
 	// the same bench on two machines never cross-seeds.
@@ -167,10 +187,15 @@ type Session struct {
 	// Spec is what was submitted.
 	Spec SessionSpec
 
+	// item is the session's admission-queue handle; its scheduler-owned
+	// fields are only touched under the fleet's mutex.
+	item *admission.Item
+
 	mu          sync.Mutex
 	machineName string
 	state       State
 	warm        bool
+	attempt     int
 	report      *rpgcore.Report
 	meas        *rpgcore.Measurement
 	sweep       *baselines.Sweep
@@ -186,6 +211,14 @@ func (s *Session) State() State {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.state
+}
+
+// Attempt returns the session's current attempt index: 0 for the first
+// admission, incremented by each retry-lane re-admission.
+func (s *Session) Attempt() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.attempt
 }
 
 // Warm reports whether the session was seeded from the profile store.
@@ -301,6 +334,40 @@ type Config struct {
 	// regression, versus the rate the store entry promised, beyond which
 	// a warm session invalidates the entry (default 0.25).
 	RegressTolerance float64
+
+	// --- Admission & resilience knobs (internal/admission). The zero
+	// value of every knob reproduces the original FIFO fleet exactly. ---
+
+	// Quota bounds concurrent in-flight sessions per (bench, input) so
+	// one workload cannot monopolise the worker pool (0 = unlimited).
+	Quota int
+	// MaxRetries re-admits Failed and RolledBack sessions as cold
+	// re-profile attempts, up to this many times per session (0 = retry
+	// lane disabled). Retried attempts derive a fresh deterministic seed
+	// from (Spec.Seed, attempt) and bypass the profile store.
+	MaxRetries int
+	// RetryBackoff is the first retry's backoff in virtual seconds
+	// (default 0.5); attempt n waits RetryBackoff·2^(n-1), capped at
+	// RetryBackoffCap (default 8). Backoff consumes the scheduler's
+	// deterministic virtual clock, never wall time.
+	RetryBackoff    float64
+	RetryBackoffCap float64
+	// AgingStep is how many dispatches raise a waiting session's
+	// effective priority by one (default 8; negative disables aging).
+	AgingStep int
+	// BreakerThreshold trips a per-(bench, input) circuit breaker after
+	// this many consecutive rollbacks; further optimize sessions on that
+	// key are parked in the Degraded outcome instead of burning probes
+	// (0 = breaker disabled).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open in
+	// virtual seconds before admitting one half-open recovery trial
+	// (default 16).
+	BreakerCooldown float64
+	// Faults, when non-nil, injects deterministic failures at the
+	// controller's profile/rewrite/OSR boundaries — the test harness for
+	// the retry and breaker machinery.
+	Faults *faults.Injector
 }
 
 func (c Config) defaults() Config {
@@ -322,7 +389,8 @@ func (c Config) defaults() Config {
 	return c
 }
 
-// ErrClosed is returned by Submit after Close.
+// ErrClosed is the typed error Submit returns after Close (the facade
+// exports it as ErrFleetClosed). Use errors.Is to test for it.
 var ErrClosed = errors.New("fleet: closed to new sessions")
 
 // Fleet is the long-lived service: submit sessions, drain, snapshot.
@@ -334,7 +402,7 @@ type Fleet struct {
 
 	mu        sync.Mutex
 	cond      *sync.Cond
-	queue     []*Session
+	sched     *admission.Queue
 	inflight  int
 	nextID    int
 	queuePeak int
@@ -353,6 +421,15 @@ func New(cfg Config) *Fleet {
 		store:   cfg.Store,
 		journal: NewJournal(),
 		metrics: newMetrics(),
+		sched: admission.NewQueue(admission.Config{
+			Quota:            cfg.Quota,
+			MaxRetries:       cfg.MaxRetries,
+			BackoffBase:      cfg.RetryBackoff,
+			BackoffCap:       cfg.RetryBackoffCap,
+			AgingStep:        cfg.AgingStep,
+			BreakerThreshold: cfg.BreakerThreshold,
+			BreakerCooldown:  cfg.BreakerCooldown,
+		}),
 	}
 	if f.store == nil && !cfg.DisableStore {
 		f.store = NewStore(cfg.StoreConfig)
@@ -385,7 +462,8 @@ func (f *Fleet) Sessions() []*Session {
 	return out
 }
 
-// Submit admits one session to the queue and returns its handle.
+// Submit admits one session to the queue and returns its handle. After
+// Close it returns ErrClosed.
 func (f *Fleet) Submit(spec SessionSpec) (*Session, error) {
 	f.mu.Lock()
 	if f.closed {
@@ -397,11 +475,18 @@ func (f *Fleet) Submit(spec SessionSpec) (*Session, error) {
 	if spec.Machine != nil {
 		s.machineName = spec.Machine.Name
 	}
+	s.item = &admission.Item{
+		ID:        s.ID,
+		Key:       admission.Key{Bench: spec.Bench, Input: spec.Input},
+		Priority:  spec.Priority,
+		Breakable: spec.Kind == OptimizeJob,
+		Payload:   s,
+	}
 	f.nextID++
-	f.queue = append(f.queue, s)
+	f.sched.Push(s.item)
 	f.sessions = append(f.sessions, s)
-	if len(f.queue) > f.queuePeak {
-		f.queuePeak = len(f.queue)
+	if n := f.sched.Len(); n > f.queuePeak {
+		f.queuePeak = n
 	}
 	f.mu.Unlock()
 
@@ -409,22 +494,26 @@ func (f *Fleet) Submit(spec SessionSpec) (*Session, error) {
 	f.journal.add(Event{
 		Session: s.ID, Type: "queued", Kind: spec.Kind.String(),
 		Bench: spec.Bench, Input: spec.Input, Machine: s.machineName,
-		State: Queued.String(),
+		State: Queued.String(), Priority: spec.Priority,
 	})
 	f.cond.Broadcast()
 	return s, nil
 }
 
-// Drain blocks until every admitted session has reached a terminal state.
+// Drain blocks until every admitted session has reached a terminal state
+// (including pending retry-lane re-admissions). It is safe to call
+// repeatedly and after Close.
 func (f *Fleet) Drain() {
 	f.mu.Lock()
-	for len(f.queue) > 0 || f.inflight > 0 {
+	for !f.sched.Empty() || f.inflight > 0 {
 		f.cond.Wait()
 	}
 	f.mu.Unlock()
 }
 
-// Close stops admission, drains the queue, and stops the workers.
+// Close stops admission, drains the queue (including the retry lane), and
+// stops the workers. Close is idempotent: repeated or concurrent calls all
+// block until the pool has shut down.
 func (f *Fleet) Close() {
 	f.mu.Lock()
 	f.closed = true
@@ -432,6 +521,40 @@ func (f *Fleet) Close() {
 	f.cond.Broadcast()
 	f.workers.Wait()
 }
+
+// CancelQueued fails every session still waiting in the queue or retry
+// lane with ErrCanceled, leaving in-flight sessions to finish; it returns
+// the number cancelled. This is the graceful-shutdown path: cancel, drain
+// the in-flight remainder, then snapshot.
+func (f *Fleet) CancelQueued() int {
+	n := 0
+	for {
+		f.mu.Lock()
+		it, ok := f.sched.Evict()
+		f.mu.Unlock()
+		if !ok {
+			break
+		}
+		s := it.Payload.(*Session)
+		f.transition(s, Failed, 0)
+		s.mu.Lock()
+		s.err = ErrCanceled
+		s.mu.Unlock()
+		f.metrics.fail(0)
+		f.journal.add(Event{
+			Session: s.ID, Type: "session-failed", State: Failed.String(),
+			Kind:  s.Spec.Kind.String(),
+			Bench: s.Spec.Bench, Input: s.Spec.Input, Machine: s.MachineName(),
+			Attempt: it.Attempt, Err: ErrCanceled.Error(),
+		})
+		n++
+	}
+	f.cond.Broadcast()
+	return n
+}
+
+// ErrCanceled marks sessions failed by CancelQueued before they ran.
+var ErrCanceled = errors.New("fleet: session cancelled before dispatch")
 
 // Run is the batch convenience: submit all specs, drain, return the
 // sessions. The fleet stays open for more work afterwards.
@@ -452,39 +575,119 @@ func (f *Fleet) Run(specs []SessionSpec) ([]*Session, error) {
 func (f *Fleet) Snapshot() Snapshot {
 	f.mu.Lock()
 	workers, peak := f.cfg.Workers, f.queuePeak
+	sched := f.sched.Stats()
+	open := f.sched.OpenBreakers()
 	f.mu.Unlock()
 	var store *Store
 	if !f.cfg.DisableStore {
 		store = f.store
 	}
-	return f.metrics.snapshot(store, f.cfg.Builds, workers, peak)
+	return f.metrics.snapshot(store, f.cfg.Builds, workers, peak, sched, open)
 }
 
 // Builds returns the fleet's workload build cache.
 func (f *Fleet) Builds() *workloads.BuildCache { return f.cfg.Builds }
 
+// worker pulls dispatch decisions from the admission scheduler until the
+// fleet is closed and fully drained. A false Pop means everything waiting
+// is quota-blocked (or nothing is waiting): the worker sleeps until a
+// completion or submission changes the picture.
 func (f *Fleet) worker() {
 	defer f.workers.Done()
 	for {
 		f.mu.Lock()
-		for len(f.queue) == 0 && !f.closed {
+		var dec admission.Decision
+		for {
+			var ok bool
+			if dec, ok = f.sched.Pop(); ok {
+				break
+			}
+			if f.closed && f.sched.Empty() && f.inflight == 0 {
+				f.mu.Unlock()
+				f.cond.Broadcast()
+				return
+			}
 			f.cond.Wait()
 		}
-		if len(f.queue) == 0 {
-			f.mu.Unlock()
-			return
-		}
-		s := f.queue[0]
-		f.queue = f.queue[1:]
 		f.inflight++
 		f.mu.Unlock()
 
-		f.runSession(s)
+		s := dec.Item.Payload.(*Session)
+		f.journal.add(Event{
+			Session: s.ID, Type: "admitted", Kind: s.Spec.Kind.String(),
+			Bench: s.Spec.Bench, Input: s.Spec.Input, Machine: s.MachineName(),
+			Attempt: dec.Item.Attempt, Priority: s.Spec.Priority,
+			Wait: dec.Waited,
+		})
+		if dec.Parked {
+			f.parkSession(s, time.Now())
+		} else {
+			f.runSession(s)
+		}
 
 		f.mu.Lock()
+		f.sched.Release(dec.Item.Key)
 		f.inflight--
 		f.mu.Unlock()
 		f.cond.Broadcast()
+	}
+}
+
+// parkSession terminates a session the circuit breaker refused to run.
+func (f *Fleet) parkSession(s *Session, started time.Time) {
+	f.transition(s, Degraded, 0)
+	s.mu.Lock()
+	s.wall = time.Since(started)
+	s.mu.Unlock()
+	f.metrics.degrade(s.Wall())
+	f.journal.add(Event{
+		Session: s.ID, Type: "session-degraded", State: Degraded.String(),
+		Kind:  s.Spec.Kind.String(),
+		Bench: s.Spec.Bench, Input: s.Spec.Input, Machine: s.MachineName(),
+		Attempt: s.Attempt(),
+	})
+}
+
+// tryRetryLocked re-admits a Failed or RolledBack session through the
+// backoff lane if budget remains, journaling the decision before the
+// state edge so the item is never visible to workers in a stale state.
+// Caller holds f.mu.
+func (f *Fleet) tryRetryLocked(s *Session) bool {
+	backoff, due, ok := f.sched.Retry(s.item)
+	if !ok {
+		return false
+	}
+	f.journal.add(Event{
+		Session: s.ID, Type: "retry-scheduled", Kind: s.Spec.Kind.String(),
+		Bench: s.Spec.Bench, Input: s.Spec.Input, Machine: s.MachineName(),
+		Attempt: s.item.Attempt, Backoff: backoff, Due: due,
+	})
+	f.transition(s, Queued, 0)
+	s.mu.Lock()
+	s.attempt = s.item.Attempt
+	s.mu.Unlock()
+	f.metrics.retry()
+	if n := f.sched.Len(); n > f.queuePeak {
+		f.queuePeak = n
+	}
+	return true
+}
+
+// reportBreakerLocked feeds an optimize attempt's outcome to its key's
+// breaker and journals any trip or recovery. Caller holds f.mu.
+func (f *Fleet) reportBreakerLocked(s *Session, o admission.Outcome) {
+	opened, closed := f.sched.Report(s.item.Key, o)
+	if opened {
+		f.journal.add(Event{
+			Session: s.ID, Type: "breaker-open",
+			Bench: s.Spec.Bench, Input: s.Spec.Input, Machine: s.MachineName(),
+		})
+	}
+	if closed {
+		f.journal.add(Event{
+			Session: s.ID, Type: "breaker-closed",
+			Bench: s.Spec.Bench, Input: s.Spec.Input, Machine: s.MachineName(),
+		})
 	}
 }
 
@@ -523,13 +726,21 @@ func (f *Fleet) failSession(s *Session, started time.Time, err error) {
 	s.err = err
 	s.wall = time.Since(started)
 	s.mu.Unlock()
-	f.metrics.fail(s.Wall())
 	f.journal.add(Event{
 		Session: s.ID, Type: "session-failed", State: Failed.String(),
 		Kind:  s.Spec.Kind.String(),
 		Bench: s.Spec.Bench, Input: s.Spec.Input, Machine: s.MachineName(),
-		Err: err.Error(),
+		Attempt: s.Attempt(), Err: err.Error(),
 	})
+	f.mu.Lock()
+	if s.item.Breakable {
+		f.reportBreakerLocked(s, admission.Failure)
+	}
+	retried := f.tryRetryLocked(s)
+	f.mu.Unlock()
+	if !retried {
+		f.metrics.fail(s.Wall())
+	}
 }
 
 // machineFor resolves a session's effective machine.
@@ -565,9 +776,16 @@ func (f *Fleet) finishAux(s *Session, started time.Time) {
 	})
 }
 
+// retrySeedStride separates consecutive attempts' controller seeds; any
+// large odd constant works, it only has to be deterministic.
+const retrySeedStride = 1_000_003
+
 // runSession dispatches one admitted session to its kind's runner.
 func (f *Fleet) runSession(s *Session) {
 	started := time.Now()
+	s.mu.Lock()
+	s.err = nil // a retry attempt supersedes the previous attempt's error
+	s.mu.Unlock()
 	m := f.machineFor(s)
 	switch s.Spec.Kind {
 	case BaselineJob:
@@ -599,9 +817,26 @@ func (f *Fleet) runOptimize(s *Session, started time.Time, m machine.Machine) {
 	if s.Spec.Config != nil {
 		cfg = *s.Spec.Config
 	}
-	cfg.Seed = s.Spec.Seed
+	attempt := s.Attempt()
+	// Each retry attempt derives a fresh deterministic seed so a rolled-
+	// back search does not replay the same random starting distance.
+	cfg.Seed = s.Spec.Seed + int64(attempt)*retrySeedStride
+	if f.cfg.Faults != nil {
+		userFault := cfg.FaultHook
+		injected := f.cfg.Faults.Hook(s.Spec.Seed, attempt)
+		cfg.FaultHook = func(stage string) error {
+			if userFault != nil {
+				if err := userFault(stage); err != nil {
+					return err
+				}
+			}
+			return injected(stage)
+		}
+	}
 
-	cold := s.Spec.Cold || f.cfg.DisableStore
+	// Retry attempts run cold by design: the cached profile (or the luck
+	// of the first attempt) is suspect, so they re-profile from scratch.
+	cold := s.Spec.Cold || f.cfg.DisableStore || attempt > 0
 	var seed Entry
 	var seedGen uint64
 	warm := false
@@ -705,12 +940,31 @@ func (f *Fleet) runOptimize(s *Session, started time.Time, m machine.Machine) {
 	s.report = rep
 	s.wall = time.Since(started)
 	s.mu.Unlock()
+
+	// Resilience policy: every optimize outcome feeds the key's breaker,
+	// and a rolled-back attempt may re-enter through the retry lane — in
+	// which case the terminal record belongs to a later attempt.
+	f.mu.Lock()
+	if final == Done {
+		f.reportBreakerLocked(s, admission.Success)
+	} else {
+		f.reportBreakerLocked(s, admission.Rollback)
+	}
+	retried := false
+	if final == RolledBack {
+		retried = f.tryRetryLocked(s)
+	}
+	f.mu.Unlock()
+	if retried {
+		return
+	}
+
 	f.metrics.finish(rep.Outcome.String(), warm, rep.Costs.PDEdits, s.Wall())
 	f.journal.add(Event{
 		Session: s.ID, Type: "session-done", State: final.String(),
 		Kind:  s.Spec.Kind.String(),
 		Bench: s.Spec.Bench, Input: s.Spec.Input, Machine: m.Name,
-		Warm: warm, Report: rep,
+		Warm: warm, Report: rep, Attempt: s.Attempt(),
 	})
 }
 

@@ -20,9 +20,10 @@ type Event struct {
 	Wall float64 `json:"wall"`
 	// Session is the subject session's ID (-1 for fleet-level events).
 	Session int `json:"session"`
-	// Type is the event kind: "queued", "state", "store-hit",
-	// "store-miss", "store-commit", "store-invalidate", "session-done",
-	// "session-failed".
+	// Type is the event kind: "queued", "admitted", "state", "store-hit",
+	// "store-miss", "store-commit", "store-invalidate", "retry-scheduled",
+	// "breaker-open", "breaker-closed", "session-done", "session-failed",
+	// "session-degraded".
 	Type string `json:"type"`
 	// Bench and Input name the session's workload.
 	Bench string `json:"bench,omitempty"`
@@ -39,6 +40,18 @@ type Event struct {
 	At float64 `json:"t,omitempty"`
 	// Warm marks sessions that were seeded from the profile store.
 	Warm bool `json:"warm,omitempty"`
+	// Priority is the session's admission priority ("queued", "admitted").
+	Priority int `json:"priority,omitempty"`
+	// Attempt is the retry-lane attempt index the event belongs to
+	// (0, omitted, for a session's first admission).
+	Attempt int `json:"attempt,omitempty"`
+	// Backoff and Due describe a "retry-scheduled" event: the exponential
+	// backoff granted and the virtual-clock due time, both in virtual
+	// seconds.
+	Backoff float64 `json:"backoff,omitempty"`
+	Due     float64 `json:"due,omitempty"`
+	// Wait is the virtual backoff wait an "admitted" dispatch consumed.
+	Wait float64 `json:"wait,omitempty"`
 	// Err carries the failure for "session-failed" events.
 	Err string `json:"error,omitempty"`
 	// Report is the full controller report for "session-done" events.

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"rpg2/internal/admission"
 	"rpg2/internal/workloads"
 )
 
@@ -17,6 +18,8 @@ type metrics struct {
 	submitted int
 	completed int
 	failed    int
+	degraded  int
+	retries   int
 	outcomes  map[string]int // terminal rpg2 outcome name -> count (optimize jobs)
 	kinds     map[string]int // completed sessions per job kind
 	wallSecs  []float64      // per completed session
@@ -73,6 +76,23 @@ func (m *metrics) fail(wall time.Duration) {
 	m.wallSecs = append(m.wallSecs, wall.Seconds())
 }
 
+// degrade records a session parked terminally by an open circuit breaker.
+func (m *metrics) degrade(wall time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.completed++
+	m.degraded++
+	m.wallSecs = append(m.wallSecs, wall.Seconds())
+}
+
+// retry records a re-admission; the attempt is not terminal, so nothing
+// else moves.
+func (m *metrics) retry() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.retries++
+}
+
 // Snapshot is a point-in-time view of the fleet's health — the counters the
 // issue's operator story needs: throughput, activation and rollback rates,
 // profile-store effectiveness, and the cold-vs-warm search cost.
@@ -81,7 +101,19 @@ type Snapshot struct {
 	Submitted int `json:"submitted"`
 	Completed int `json:"completed"`
 	Failed    int `json:"failed"`
+	Degraded  int `json:"degraded"`
 	QueuePeak int `json:"queue_peak"`
+
+	// Admission & resilience counters: retry-lane re-admissions, virtual
+	// seconds consumed by backoff, dispatch attempts stalled on quotas,
+	// breaker trips (and how many breakers are open right now), and the
+	// scheduler's virtual clock.
+	Retries         int     `json:"retries"`
+	BackoffWaitSecs float64 `json:"backoff_wait_secs"`
+	QuotaStalls     int     `json:"quota_stalls"`
+	BreakerTrips    int     `json:"breaker_trips"`
+	BreakersOpen    int     `json:"breakers_open"`
+	VirtualClock    float64 `json:"virtual_clock"`
 
 	// Terminal outcome counts (rpg2 outcome names).
 	Tuned        int `json:"tuned"`
@@ -141,23 +173,31 @@ func meanInt(xs []int) float64 {
 	return float64(sum) / float64(len(xs))
 }
 
-func (m *metrics) snapshot(store *Store, builds *workloads.BuildCache, workers, queuePeak int) Snapshot {
+func (m *metrics) snapshot(store *Store, builds *workloads.BuildCache, workers, queuePeak int,
+	sched admission.Stats, breakersOpen int) Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
-		Workers:        workers,
-		Submitted:      m.submitted,
-		Completed:      m.completed,
-		Failed:         m.failed,
-		QueuePeak:      queuePeak,
-		Tuned:          m.outcomes["tuned"],
-		RolledBack:     m.outcomes["rolled-back"],
-		NotActivated:   m.outcomes["not-activated"],
-		TargetExited:   m.outcomes["target-exited"],
-		ColdSessions:   len(m.coldProbe),
-		WarmSessions:   len(m.warmProbe),
-		ColdProbesMean: meanInt(m.coldProbe),
-		WarmProbesMean: meanInt(m.warmProbe),
+		Workers:         workers,
+		Submitted:       m.submitted,
+		Completed:       m.completed,
+		Failed:          m.failed,
+		Degraded:        m.degraded,
+		QueuePeak:       queuePeak,
+		Retries:         sched.Retries,
+		BackoffWaitSecs: sched.BackoffWait,
+		QuotaStalls:     sched.QuotaStalls,
+		BreakerTrips:    sched.BreakerTrips,
+		BreakersOpen:    breakersOpen,
+		VirtualClock:    sched.Clock,
+		Tuned:           m.outcomes["tuned"],
+		RolledBack:      m.outcomes["rolled-back"],
+		NotActivated:    m.outcomes["not-activated"],
+		TargetExited:    m.outcomes["target-exited"],
+		ColdSessions:    len(m.coldProbe),
+		WarmSessions:    len(m.warmProbe),
+		ColdProbesMean:  meanInt(m.coldProbe),
+		WarmProbesMean:  meanInt(m.warmProbe),
 	}
 	if len(m.kinds) > 0 {
 		s.Kinds = make(map[string]int, len(m.kinds))
@@ -201,8 +241,8 @@ func (m *metrics) snapshot(store *Store, builds *workloads.BuildCache, workers, 
 func (s Snapshot) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "fleet snapshot\n")
-	fmt.Fprintf(&b, "  sessions       %d submitted, %d completed, %d failed\n",
-		s.Submitted, s.Completed, s.Failed)
+	fmt.Fprintf(&b, "  sessions       %d submitted, %d completed, %d failed, %d degraded\n",
+		s.Submitted, s.Completed, s.Failed, s.Degraded)
 	fmt.Fprintf(&b, "  outcomes       %d tuned, %d rolled-back, %d not-activated, %d target-exited\n",
 		s.Tuned, s.RolledBack, s.NotActivated, s.TargetExited)
 	if len(s.Kinds) > 0 {
@@ -230,5 +270,7 @@ func (s Snapshot) Render() string {
 		s.ColdProbesMean, s.ColdSessions, s.WarmProbesMean, s.WarmSessions)
 	fmt.Fprintf(&b, "  scheduling     %d workers, peak queue depth %d\n",
 		s.Workers, s.QueuePeak)
+	fmt.Fprintf(&b, "  resilience     %d retries (%.1fs backoff), %d quota stalls, %d breaker trips (%d open)\n",
+		s.Retries, s.BackoffWaitSecs, s.QuotaStalls, s.BreakerTrips, s.BreakersOpen)
 	return b.String()
 }

@@ -99,6 +99,13 @@ type Config struct {
 	// seconds. The fleet's event journal listens here; the hook must not
 	// touch the target process.
 	OnPhase func(phase string, seconds float64)
+	// FaultHook, when non-nil, is consulted at the controller's three
+	// fault-injection boundaries — "profile" (end of PEBS collection),
+	// "rewrite" (before the BOLT pass), and "osr" (before runtime code
+	// insertion). A non-nil return aborts the session with that error,
+	// before the target is perturbed by the stage in question. The
+	// fleet's deterministic fault injector is the intended caller.
+	FaultHook func(stage string) error
 	// AutoPhaseDetect ignores the benchmark's explicit end-of-init signal
 	// and instead detects the transition to the main phase from the IPC
 	// trace: profiling starts once several consecutive short windows
@@ -337,6 +344,9 @@ func (c *Controller) Optimize(p *proc.Process) (*Report, error) {
 	if exited, err := c.checkTarget(p, r); exited {
 		return r, err
 	}
+	if err := c.fault("profile"); err != nil {
+		return r, err
+	}
 	seeded := c.cfg.SeedFunc != "" && len(c.cfg.SeedCandidates) > 0
 	if r.Samples < c.cfg.MinSamples && !seeded {
 		r.Outcome = NotActivated
@@ -380,6 +390,9 @@ func (c *Controller) Optimize(p *proc.Process) (*Report, error) {
 	bin := c.snapshotBinary(p)
 	p.Run(uint64(c.mach.BOLTCycles)) // the target runs while BOLT works
 	r.Costs.BOLTSeconds = c.mach.ToSeconds(uint64(c.mach.BOLTCycles))
+	if err := c.fault("rewrite"); err != nil {
+		return r, err
+	}
 	rw, err := bolt.InjectPrefetch(bin, fnName, candidates, r.InitialDistance)
 	if err != nil {
 		// No supported access pattern: leave the target untouched.
@@ -393,6 +406,9 @@ func (c *Controller) Optimize(p *proc.Process) (*Report, error) {
 
 	// ---- Phase 3: runtime code insertion + OSR ----------------------
 	phase("insert")
+	if err := c.fault("osr"); err != nil {
+		return r, err
+	}
 	ins, err := insertCode(tr, agent, rw)
 	if err != nil {
 		return r, fmt.Errorf("rpg2: code insertion: %w", err)
@@ -482,6 +498,19 @@ func (c *Controller) awaitStablePhase(p *proc.Process) {
 		}
 		prev = w.IPC
 	}
+}
+
+// fault consults the configured fault hook at one injection boundary,
+// tagging the returned error with the stage while keeping the injected
+// cause unwrappable.
+func (c *Controller) fault(stage string) error {
+	if c.cfg.FaultHook == nil {
+		return nil
+	}
+	if err := c.cfg.FaultHook(stage); err != nil {
+		return fmt.Errorf("rpg2: %s stage: %w", stage, err)
+	}
+	return nil
 }
 
 // checkTarget folds target death into the report.

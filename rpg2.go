@@ -30,6 +30,7 @@ import (
 	"rpg2/internal/baselines"
 	"rpg2/internal/cpu"
 	"rpg2/internal/experiments"
+	"rpg2/internal/faults"
 	"rpg2/internal/fleet"
 	"rpg2/internal/graphs"
 	"rpg2/internal/machine"
@@ -228,3 +229,64 @@ func NewProfileStore() *ProfileStore { return fleet.NewStore(fleet.StoreConfig{}
 // NewFleet starts a fleet service; its worker pool is live immediately.
 // Submit sessions (or batch them with Run), Drain, read Snapshot, Close.
 func NewFleet(cfg FleetConfig) *Fleet { return fleet.New(cfg) }
+
+// FleetState is a fleet session's lifecycle state.
+type FleetState = fleet.State
+
+// Fleet session lifecycle states. Sessions move Queued → Profiling →
+// Rewriting → Tuning and end in one of the four terminal states.
+const (
+	// SessionQueued: admitted, waiting for a worker (or for a retry's
+	// backoff to elapse).
+	SessionQueued = fleet.Queued
+	// SessionProfiling through SessionTuning track the controller phases.
+	SessionProfiling = fleet.Profiling
+	SessionRewriting = fleet.Rewriting
+	SessionTuning    = fleet.Tuning
+	// SessionDone: the controller finished (any rpg2 Outcome, incl. a
+	// rollback that exhausted its retry budget).
+	SessionDone = fleet.Done
+	// SessionRolledBack: prefetching hurt and was rolled back terminally.
+	SessionRolledBack = fleet.RolledBack
+	// SessionFailed: the session errored (launch failure, injected fault
+	// past the retry budget, or cancellation).
+	SessionFailed = fleet.Failed
+	// SessionDegraded: an open circuit breaker parked the session without
+	// running it.
+	SessionDegraded = fleet.Degraded
+)
+
+// ErrFleetClosed is returned by Fleet.Submit after Close: the pool is
+// shutting down and accepts no new work. Test with errors.Is.
+var ErrFleetClosed = fleet.ErrClosed
+
+// ErrSessionCanceled marks sessions evicted from the admission queue by
+// Fleet.CancelQueued (graceful shutdown) before ever dispatching.
+var ErrSessionCanceled = fleet.ErrCanceled
+
+// FaultStage names an injection boundary inside the controller:
+// "profile" (sample collection), "rewrite" (the BOLT pass), or "osr"
+// (runtime code insertion / on-stack replacement).
+type FaultStage = faults.Stage
+
+// Fault-injection boundaries.
+const (
+	FaultProfile = faults.StageProfile
+	FaultRewrite = faults.StageRewrite
+	FaultOSR     = faults.StageOSR
+)
+
+// FaultConfig seeds a deterministic fault injector.
+type FaultConfig = faults.Config
+
+// FaultInjector decides, purely from (seed, session, attempt, stage),
+// whether a controller stage fails. Plug one into FleetConfig.Faults to
+// exercise the fleet's retry lane and circuit breakers reproducibly.
+type FaultInjector = faults.Injector
+
+// NewFaultInjector builds an injector from a seeded config.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return faults.New(cfg) }
+
+// IsInjectedFault reports whether an error (e.g. FleetSession.Err) was
+// manufactured by a fault injector rather than arising organically.
+func IsInjectedFault(err error) bool { return faults.Injected(err) }
