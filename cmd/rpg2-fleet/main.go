@@ -11,9 +11,18 @@
 //	rpg2-fleet -bench pr,bfs -pairs 4 -sessions 24 -journal
 //	rpg2-fleet -sessions 48 -faults 0.2 -retries 2 -quota 2
 //
+// With -state-dir the fleet is crash-safe: every event is journaled to an
+// append-only checksummed WAL and the profile store snapshots alongside
+// it, so a killed run resumes with -resume — committed profiles survive
+// and interrupted sessions re-run:
+//
+//	rpg2-fleet -state-dir ./state -fsync always -sessions 48
+//	rpg2-fleet -state-dir ./state -resume
+//
 // SIGINT triggers a graceful shutdown: queued sessions are cancelled,
-// in-flight sessions drain, and the snapshot (and journal, if requested)
-// still prints.
+// in-flight sessions drain, the WAL is flushed and closed (so the state
+// dir is resumable), and the snapshot (and journal, if requested) still
+// prints.
 package main
 
 import (
@@ -47,6 +56,11 @@ type options struct {
 	retries   int
 	quota     int
 	breaker   int
+
+	// Persistence knobs.
+	stateDir string
+	resume   bool
+	fsync    string
 }
 
 func main() {
@@ -66,6 +80,9 @@ func main() {
 	flag.IntVar(&o.retries, "retries", 0, "retry budget for failed/rolled-back sessions (0 = no retry lane)")
 	flag.IntVar(&o.quota, "quota", 0, "max in-flight sessions per (benchmark, input) pair (0 = unlimited)")
 	flag.IntVar(&o.breaker, "breaker", 0, "consecutive rollbacks that trip a pair's circuit breaker (0 = off)")
+	flag.StringVar(&o.stateDir, "state-dir", "", "persist the journal WAL and profile-store snapshots here (empty = in-memory only)")
+	flag.BoolVar(&o.resume, "resume", false, "recover the state dir and finish its interrupted sessions instead of submitting new work")
+	flag.StringVar(&o.fsync, "fsync", "interval", "WAL durability: interval, always, or never")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -131,6 +148,10 @@ func run(o options) error {
 		return fmt.Errorf("no (benchmark, input) pairs selected")
 	}
 
+	fsync, err := rpg2.ParseFsyncPolicy(o.fsync)
+	if err != nil {
+		return err
+	}
 	cfg := rpg2.FleetConfig{
 		Machine:          m,
 		Workers:          o.workers,
@@ -139,15 +160,33 @@ func run(o options) error {
 		Quota:            o.quota,
 		MaxRetries:       o.retries,
 		BreakerThreshold: o.breaker,
+		StateDir:         o.stateDir,
+		Fsync:            fsync,
 	}
 	if o.faults > 0 {
 		cfg.Faults = rpg2.NewFaultInjector(rpg2.FaultConfig{Seed: o.faultSeed, Rate: o.faults})
 	}
-	f := rpg2.NewFleet(cfg)
+
+	var f *rpg2.Fleet
+	var rec *rpg2.FleetRecovery
+	if o.resume {
+		if o.stateDir == "" {
+			return fmt.Errorf("-resume needs -state-dir")
+		}
+		f, rec, err = rpg2.RecoverFleet(o.stateDir, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rec.Summary())
+	} else {
+		f = rpg2.NewFleet(cfg)
+	}
 	defer f.Close()
 
 	// SIGINT: cancel everything still queued, let in-flight sessions drain,
-	// and fall through to the snapshot/journal printing below.
+	// and fall through to the snapshot/journal printing below. The explicit
+	// Close before the snapshot flushes the WAL, so an interrupted -state-dir
+	// run is resumable.
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigc)
@@ -159,18 +198,40 @@ func run(o options) error {
 		}
 	}()
 
-	specs := make([]rpg2.SessionSpec, o.sessions)
-	for i := range specs {
-		specs[i] = pool[i%len(pool)]
-		specs[i].Seed = o.seed + int64(i)
-	}
-	fmt.Printf("running %d sessions over %d (benchmark, input) pairs on %s\n\n",
-		o.sessions, len(pool), m.Name)
-	if _, err := f.Run(specs); err != nil {
-		return err
+	if o.resume {
+		f.Drain()
+	} else {
+		specs := make([]rpg2.SessionSpec, o.sessions)
+		for i := range specs {
+			specs[i] = pool[i%len(pool)]
+			specs[i].Seed = o.seed + int64(i)
+		}
+		fmt.Printf("running %d sessions over %d (benchmark, input) pairs on %s\n\n",
+			o.sessions, len(pool), m.Name)
+		if _, err := f.Run(specs); err != nil {
+			return err
+		}
 	}
 
-	fmt.Print(f.Snapshot().Render())
+	// Close before printing: workers stop, the final snapshot lands, and
+	// the WAL is flushed and closed — whatever happens after this line, the
+	// state dir is consistent.
+	f.Close()
+	snap := f.Snapshot()
+	fmt.Print(snap.Render())
+	if o.resume {
+		terminal := 0
+		for _, s := range rec.Requeued {
+			if s.State().Terminal() {
+				terminal++
+			}
+		}
+		fmt.Printf("resume complete: %d recovered sessions terminal, %d store entries live\n",
+			terminal, snap.StoreEntries)
+		if terminal != len(rec.Requeued) {
+			return fmt.Errorf("%d recovered sessions never finished", len(rec.Requeued)-terminal)
+		}
+	}
 	for _, s := range f.Sessions() {
 		if err := s.Err(); err != nil {
 			fmt.Printf("session %d (%s/%s) failed: %v\n", s.ID, s.Spec.Bench, s.Spec.Input, err)
@@ -194,7 +255,7 @@ func run(o options) error {
 		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(f.Snapshot()); err != nil {
+		if err := enc.Encode(snap); err != nil {
 			return err
 		}
 	}

@@ -29,8 +29,8 @@ import "sort"
 
 // Key is the quota and breaker domain: one (bench, input) workload.
 type Key struct {
-	Bench string
-	Input string
+	Bench string `json:"bench"`
+	Input string `json:"input,omitempty"`
 }
 
 // Config tunes the scheduler. The zero value is a plain FIFO queue:
@@ -115,21 +115,22 @@ const (
 	Failure
 )
 
-// Stats are the scheduler's cumulative policy counters.
+// Stats are the scheduler's cumulative policy counters. They marshal to
+// JSON because a fleet's WAL snapshots persist them across restarts.
 type Stats struct {
 	// Retries counts re-admissions through the retry lane.
-	Retries int
+	Retries int `json:"retries,omitempty"`
 	// BackoffWait is the total virtual seconds consumed by backoff.
-	BackoffWait float64
+	BackoffWait float64 `json:"backoff_wait,omitempty"`
 	// QuotaStalls counts dispatch attempts that went empty-handed while
 	// work was queued, because every eligible item's key was at quota.
-	QuotaStalls int
+	QuotaStalls int `json:"quota_stalls,omitempty"`
 	// BreakerTrips counts breaker openings (including half-open re-trips).
-	BreakerTrips int
+	BreakerTrips int `json:"breaker_trips,omitempty"`
 	// Parked counts items dispatched as parked (degraded).
-	Parked int
+	Parked int `json:"parked,omitempty"`
 	// Clock is the current virtual time in seconds.
-	Clock float64
+	Clock float64 `json:"clock,omitempty"`
 }
 
 type breaker struct {
@@ -197,6 +198,106 @@ func (q *Queue) OpenBreakers() int {
 		}
 	}
 	return n
+}
+
+// BreakerState is one key's breaker posture: the diagnosable detail the
+// metrics snapshot lists and WAL snapshots persist.
+type BreakerState struct {
+	Key Key `json:"key"`
+	// Consecutive is the rollback depth since the last success.
+	Consecutive int  `json:"consecutive"`
+	Open        bool `json:"open,omitempty"`
+	// HalfOpen marks a breaker whose single recovery trial is in flight.
+	HalfOpen bool `json:"half_open,omitempty"`
+	// ReopenAt is the virtual time the cooldown expires (while open).
+	ReopenAt float64 `json:"reopen_at,omitempty"`
+}
+
+// State renders the posture as the operator-facing word.
+func (b BreakerState) State() string {
+	switch {
+	case b.HalfOpen:
+		return "half-open"
+	case b.Open:
+		return "open"
+	}
+	return "closed"
+}
+
+// Breakers returns every non-idle breaker (open, half-open, or holding a
+// consecutive-rollback count), sorted by key for deterministic output.
+func (q *Queue) Breakers() []BreakerState {
+	var out []BreakerState
+	for k, b := range q.breakers {
+		if !b.open && !b.halfOpen && b.consecutive == 0 {
+			continue
+		}
+		out = append(out, BreakerState{
+			Key: k, Consecutive: b.consecutive,
+			Open: b.open, HalfOpen: b.halfOpen, ReopenAt: b.reopenAt,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.Bench != out[j].Key.Bench {
+			return out[i].Key.Bench < out[j].Key.Bench
+		}
+		return out[i].Key.Input < out[j].Key.Input
+	})
+	return out
+}
+
+// PersistState is the scheduler state a fleet's WAL snapshots carry across
+// process lifetimes: the virtual clock, the cumulative policy counters,
+// and every breaker's posture. Waiting items are deliberately absent —
+// the fleet re-admits them explicitly from its journal, because only it
+// knows their payloads.
+type PersistState struct {
+	Clock    float64        `json:"clock,omitempty"`
+	Stats    Stats          `json:"stats"`
+	Breakers []BreakerState `json:"breakers,omitempty"`
+}
+
+// Export captures the persistable scheduler state.
+func (q *Queue) Export() PersistState {
+	return PersistState{Clock: q.clock, Stats: q.Stats(), Breakers: q.Breakers()}
+}
+
+// Import restores exported state into a queue that has not dispatched
+// anything yet. A breaker exported half-open lost its in-flight trial
+// with the process, so it re-arms as plain open with a fresh cooldown
+// from the restored clock.
+func (q *Queue) Import(st PersistState) {
+	q.clock = st.Clock
+	q.stats = st.Stats
+	q.stats.Clock = st.Clock
+	for _, bs := range st.Breakers {
+		b := &breaker{consecutive: bs.Consecutive, open: bs.Open, reopenAt: bs.ReopenAt}
+		if bs.HalfOpen {
+			b.open = true
+			b.reopenAt = q.clock + q.cfg.BreakerCooldown
+		}
+		q.breakers[bs.Key] = b
+	}
+}
+
+// ReplayBreaker applies a journaled breaker edge that postdates the last
+// snapshot: recovery's coarse roll-forward. An "open" edge records at
+// least the trip threshold's rollback depth; a "close" edge resets.
+func (q *Queue) ReplayBreaker(k Key, open bool) {
+	b := q.breakers[k]
+	if b == nil {
+		b = &breaker{}
+		q.breakers[k] = b
+	}
+	if open {
+		b.open, b.halfOpen = true, false
+		if b.consecutive < q.cfg.BreakerThreshold {
+			b.consecutive = q.cfg.BreakerThreshold
+		}
+		b.reopenAt = q.clock + q.cfg.BreakerCooldown
+	} else {
+		b.open, b.halfOpen, b.consecutive = false, false, 0
+	}
 }
 
 // quotaFull reports whether a key has no in-flight slot left.

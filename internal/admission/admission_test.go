@@ -347,3 +347,68 @@ func TestQuotaBlockedRetryDoesNotAdvanceClock(t *testing.T) {
 		t.Fatal("clock did not advance when the retry became admissible")
 	}
 }
+
+// TestExportImportRoundTrip: the persistable scheduler state survives a
+// round trip into a fresh queue, and an imported open breaker still parks
+// work exactly like the one that was exported.
+func TestExportImportRoundTrip(t *testing.T) {
+	cfg := Config{MaxRetries: 3, BreakerThreshold: 2, BreakerCooldown: 4}
+	q := NewQueue(cfg)
+	k := Key{Bench: "pr", Input: "kron"}
+	for i := 0; i < 2; i++ {
+		it := item(i+1, k, 0)
+		q.Push(it)
+		popID(t, q)
+		q.Release(k)
+		q.Report(k, Rollback)
+	}
+	st := q.Export()
+	if len(st.Breakers) != 1 || !st.Breakers[0].Open || st.Breakers[0].Consecutive != 2 {
+		t.Fatalf("export = %+v", st.Breakers)
+	}
+
+	q2 := NewQueue(cfg)
+	q2.Import(st)
+	got := q2.Export()
+	if len(got.Breakers) != 1 || got.Breakers[0] != st.Breakers[0] ||
+		got.Clock != st.Clock || got.Stats != st.Stats {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, st)
+	}
+	q2.Push(item(9, k, 0))
+	if d, ok := q2.Pop(); !ok || !d.Parked {
+		t.Fatalf("imported open breaker did not park: parked=%v ok=%v", d.Parked, ok)
+	}
+}
+
+// TestImportHalfOpenRearmsAsOpen: a breaker exported mid-trial lost the
+// trial with the process; it must come back as plain open with a fresh
+// cooldown, not stuck half-open forever.
+func TestImportHalfOpenRearmsAsOpen(t *testing.T) {
+	q := NewQueue(Config{BreakerThreshold: 2, BreakerCooldown: 4})
+	q.Import(PersistState{Clock: 10, Breakers: []BreakerState{
+		{Key: Key{Bench: "pr"}, Consecutive: 2, HalfOpen: true},
+	}})
+	bs := q.Breakers()
+	if len(bs) != 1 || !bs[0].Open || bs[0].HalfOpen || bs[0].ReopenAt != 14 {
+		t.Fatalf("half-open import = %+v", bs)
+	}
+	if bs[0].State() != "open" {
+		t.Fatalf("state = %q", bs[0].State())
+	}
+}
+
+// TestReplayBreakerEdges: recovery's coarse roll-forward of journaled
+// breaker transitions lands the breaker in the right posture.
+func TestReplayBreakerEdges(t *testing.T) {
+	q := NewQueue(Config{BreakerThreshold: 3, BreakerCooldown: 4})
+	k := Key{Bench: "bfs", Input: "soc-gamma"}
+	q.ReplayBreaker(k, true)
+	bs := q.Breakers()
+	if len(bs) != 1 || !bs[0].Open || bs[0].Consecutive != 3 {
+		t.Fatalf("open replay = %+v", bs)
+	}
+	q.ReplayBreaker(k, false)
+	if bs := q.Breakers(); len(bs) != 0 {
+		t.Fatalf("close replay left %+v", bs)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"rpg2/internal/faults"
 	"rpg2/internal/machine"
 	rpgcore "rpg2/internal/rpg2"
+	"rpg2/internal/wal"
 	"rpg2/internal/workloads"
 )
 
@@ -368,6 +369,26 @@ type Config struct {
 	// controller's profile/rewrite/OSR boundaries — the test harness for
 	// the retry and breaker machinery.
 	Faults *faults.Injector
+
+	// --- Persistence knobs (internal/wal). StateDir empty (the zero
+	// value) keeps the fleet purely in-memory, byte-identical to the
+	// pre-WAL fleet. ---
+
+	// StateDir, when set, makes the fleet crash-safe: every journal event
+	// is teed into an append-only checksummed WAL under this directory and
+	// the profile store plus scheduler state snapshot periodically, so
+	// Recover can rebuild the fleet after a crash. An unusable directory
+	// degrades the fleet to in-memory mode instead of failing it.
+	StateDir string
+	// Fsync is the WAL durability policy (default wal.SyncInterval: fsync
+	// every FsyncInterval appends and on close).
+	Fsync wal.SyncMode
+	// FsyncInterval is the append count between fsyncs under
+	// wal.SyncInterval (default 64).
+	FsyncInterval int
+	// SnapshotEvery is how many store commits trigger a fresh snapshot
+	// (default 8).
+	SnapshotEvery int
 }
 
 func (c Config) defaults() Config {
@@ -399,6 +420,7 @@ type Fleet struct {
 	store   *Store
 	journal *Journal
 	metrics *metrics
+	persist *persister // nil when StateDir is unset: pure in-memory
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -415,6 +437,16 @@ type Fleet struct {
 // New starts a fleet: the worker pool is live immediately and sessions run
 // as they are submitted. Call Close when done admitting.
 func New(cfg Config) *Fleet {
+	f := newFleet(cfg)
+	f.initPersist()
+	f.startWorkers()
+	return f
+}
+
+// newFleet builds the fleet's in-memory core: store, journal, scheduler.
+// No workers run yet and no state is on disk — Recover uses this window to
+// restore recovered state before persistence and dispatch start.
+func newFleet(cfg Config) *Fleet {
 	cfg = cfg.defaults()
 	f := &Fleet{
 		cfg:     cfg,
@@ -435,11 +467,37 @@ func New(cfg Config) *Fleet {
 		f.store = NewStore(cfg.StoreConfig)
 	}
 	f.cond = sync.NewCond(&f.mu)
-	for i := 0; i < cfg.Workers; i++ {
+	return f
+}
+
+// initPersist opens the WAL epoch when StateDir is set and writes the
+// initial snapshot (so the fresh journal always has a same-epoch snapshot
+// beneath it, carrying any recovered state). An unusable state dir
+// degrades the fleet instead of failing it.
+func (f *Fleet) initPersist() {
+	if f.cfg.StateDir == "" {
+		return
+	}
+	p, err := openPersister(f.cfg.StateDir, f.cfg.Fsync, f.cfg.FsyncInterval, f.cfg.SnapshotEvery)
+	if err != nil {
+		f.persist = degradedPersister(f.cfg.StateDir, err)
+		return
+	}
+	f.persist = p
+	f.journal.SetSink(p.appendEvent)
+	entries := []KeyedEntry(nil)
+	if f.store != nil && !f.cfg.DisableStore {
+		entries = f.store.Export()
+	}
+	p.writeSnapshot(p.watermark(), f.sched.Export(), entries)
+}
+
+// startWorkers brings the dispatch pool up.
+func (f *Fleet) startWorkers() {
+	for i := 0; i < f.cfg.Workers; i++ {
 		f.workers.Add(1)
 		go f.worker()
 	}
-	return f
 }
 
 // Store returns the fleet's profile store (nil when disabled).
@@ -465,12 +523,24 @@ func (f *Fleet) Sessions() []*Session {
 // Submit admits one session to the queue and returns its handle. After
 // Close it returns ErrClosed.
 func (f *Fleet) Submit(spec SessionSpec) (*Session, error) {
+	return f.submit(spec, 0)
+}
+
+// submitRecovered re-admits a session recovered from the WAL as the given
+// attempt; the attempt machinery makes a crash-interrupted attempt re-run
+// cold with a derived seed, exactly like a retried failure.
+func (f *Fleet) submitRecovered(spec SessionSpec, attempt int) *Session {
+	s, _ := f.submit(spec, attempt)
+	return s
+}
+
+func (f *Fleet) submit(spec SessionSpec, attempt int) (*Session, error) {
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
 		return nil, ErrClosed
 	}
-	s := &Session{ID: f.nextID, Spec: spec, state: Queued}
+	s := &Session{ID: f.nextID, Spec: spec, state: Queued, attempt: attempt}
 	s.machineName = f.cfg.Machine.Name
 	if spec.Machine != nil {
 		s.machineName = spec.Machine.Name
@@ -481,6 +551,7 @@ func (f *Fleet) Submit(spec SessionSpec) (*Session, error) {
 		Priority:  spec.Priority,
 		Breakable: spec.Kind == OptimizeJob,
 		Payload:   s,
+		Attempt:   attempt,
 	}
 	f.nextID++
 	f.sched.Push(s.item)
@@ -491,11 +562,18 @@ func (f *Fleet) Submit(spec SessionSpec) (*Session, error) {
 	f.mu.Unlock()
 
 	f.metrics.submit()
-	f.journal.add(Event{
+	ev := Event{
 		Session: s.ID, Type: "queued", Kind: spec.Kind.String(),
 		Bench: spec.Bench, Input: spec.Input, Machine: s.machineName,
-		State: Queued.String(), Priority: spec.Priority,
-	})
+		State: Queued.String(), Priority: spec.Priority, Attempt: attempt,
+	}
+	if f.persist != nil {
+		// The replayable spec rides the WAL so recovery can re-admit this
+		// session if it never finishes; in-memory journals skip it to stay
+		// byte-identical to the pre-WAL fleet.
+		ev.Spec = recordSpec(spec)
+	}
+	f.journal.add(ev)
 	f.cond.Broadcast()
 	return s, nil
 }
@@ -512,14 +590,46 @@ func (f *Fleet) Drain() {
 }
 
 // Close stops admission, drains the queue (including the retry lane), and
-// stops the workers. Close is idempotent: repeated or concurrent calls all
-// block until the pool has shut down.
+// stops the workers. When persisting, it then writes a final snapshot and
+// flushes and closes the WAL, so a cleanly closed state dir resumes
+// without replaying anything. Close is idempotent: repeated or concurrent
+// calls all block until the pool has shut down.
 func (f *Fleet) Close() {
 	f.mu.Lock()
 	f.closed = true
 	f.mu.Unlock()
 	f.cond.Broadcast()
 	f.workers.Wait()
+	if f.persist != nil {
+		f.persistSnapshot()
+		f.persist.close()
+	}
+}
+
+// maybePersistSnapshot writes a fresh snapshot if enough store commits
+// accumulated since the last one. Called between sessions, outside both
+// the fleet and journal locks.
+func (f *Fleet) maybePersistSnapshot() {
+	if f.persist == nil || !f.persist.snapshotDue() {
+		return
+	}
+	f.persistSnapshot()
+}
+
+// persistSnapshot captures and writes a snapshot. The watermark is read
+// BEFORE the store export: store mutations precede their journal events,
+// so the export folds in every event up to the watermark and replaying
+// anything newer on top of it is idempotent.
+func (f *Fleet) persistSnapshot() {
+	w := f.persist.watermark()
+	f.mu.Lock()
+	sched := f.sched.Export()
+	f.mu.Unlock()
+	entries := []KeyedEntry(nil)
+	if f.store != nil && !f.cfg.DisableStore {
+		entries = f.store.Export()
+	}
+	f.persist.writeSnapshot(w, sched, entries)
 }
 
 // CancelQueued fails every session still waiting in the queue or retry
@@ -577,12 +687,17 @@ func (f *Fleet) Snapshot() Snapshot {
 	workers, peak := f.cfg.Workers, f.queuePeak
 	sched := f.sched.Stats()
 	open := f.sched.OpenBreakers()
+	breakers := f.sched.Breakers()
 	f.mu.Unlock()
 	var store *Store
 	if !f.cfg.DisableStore {
 		store = f.store
 	}
-	return f.metrics.snapshot(store, f.cfg.Builds, workers, peak, sched, open)
+	snap := f.metrics.snapshot(store, f.cfg.Builds, workers, peak, sched, open, breakers)
+	if f.persist != nil {
+		f.persist.health(&snap)
+	}
+	return snap
 }
 
 // Builds returns the fleet's workload build cache.
@@ -624,6 +739,7 @@ func (f *Fleet) worker() {
 		} else {
 			f.runSession(s)
 		}
+		f.maybePersistSnapshot()
 
 		f.mu.Lock()
 		f.sched.Release(dec.Item.Key)
@@ -1117,28 +1233,52 @@ func (f *Fleet) applyStorePolicy(s *Session, key Key, rep *rpgcore.Report, warm 
 	case rep.Outcome == rpgcore.Tuned && warm:
 		if seed.TunedRate > 0 && rep.BestRate < seed.TunedRate*(1-f.cfg.RegressTolerance) {
 			if f.store.Invalidate(key, seedGen) {
-				f.journal.add(Event{Session: s.ID, Type: "store-invalidate",
-					Bench: key.Bench, Input: key.Input, Warm: true})
+				f.journal.add(f.invalidateEvent(s, key, true))
 			}
 			return
 		}
-		f.store.Commit(key, f.entryFrom(s, rep, seed.Candidates))
-		f.journal.add(Event{Session: s.ID, Type: "store-commit",
-			Bench: key.Bench, Input: key.Input, Warm: true})
+		entry := f.entryFrom(s, rep, seed.Candidates)
+		f.store.Commit(key, entry)
+		f.journal.add(f.commitEvent(s, key, entry, true))
 	case rep.Outcome == rpgcore.Tuned:
 		cands := make([]int, 0, len(rep.Sites))
 		for _, site := range rep.Sites {
 			cands = append(cands, site.DemandPC)
 		}
-		f.store.Commit(key, f.entryFrom(s, rep, cands))
-		f.journal.add(Event{Session: s.ID, Type: "store-commit",
-			Bench: key.Bench, Input: key.Input})
+		entry := f.entryFrom(s, rep, cands)
+		f.store.Commit(key, entry)
+		f.journal.add(f.commitEvent(s, key, entry, false))
 	case rep.Outcome == rpgcore.RolledBack && warm:
 		if f.store.Invalidate(key, seedGen) {
-			f.journal.add(Event{Session: s.ID, Type: "store-invalidate",
-				Bench: key.Bench, Input: key.Input, Warm: true})
+			f.journal.add(f.invalidateEvent(s, key, true))
 		}
 	}
+}
+
+// commitEvent builds a "store-commit" journal event. When persisting, the
+// event additionally carries the store machine key and the committed entry
+// so WAL replay can rebuild the store; in-memory journals omit both to
+// stay byte-identical to the pre-WAL fleet.
+func (f *Fleet) commitEvent(s *Session, key Key, e Entry, warm bool) Event {
+	ev := Event{Session: s.ID, Type: "store-commit",
+		Bench: key.Bench, Input: key.Input, Warm: warm}
+	if f.persist != nil {
+		ev.Machine = key.Machine
+		ec := e
+		ev.Entry = &ec
+	}
+	return ev
+}
+
+// invalidateEvent builds a "store-invalidate" journal event; the machine
+// key rides along only when persisting (replay needs the full store key).
+func (f *Fleet) invalidateEvent(s *Session, key Key, warm bool) Event {
+	ev := Event{Session: s.ID, Type: "store-invalidate",
+		Bench: key.Bench, Input: key.Input, Warm: warm}
+	if f.persist != nil {
+		ev.Machine = key.Machine
+	}
+	return ev
 }
 
 func (f *Fleet) entryFrom(s *Session, rep *rpgcore.Report, cands []int) Entry {

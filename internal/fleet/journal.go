@@ -56,6 +56,14 @@ type Event struct {
 	Err string `json:"error,omitempty"`
 	// Report is the full controller report for "session-done" events.
 	Report *rpgcore.Report `json:"report,omitempty"`
+	// Spec is the replayable projection of the submitted spec, attached to
+	// "queued" events only when the fleet persists to a WAL — it is what
+	// lets crash recovery re-admit sessions that never finished. Pure
+	// in-memory journals stay byte-identical to the pre-WAL fleet.
+	Spec *SpecRecord `json:"spec,omitempty"`
+	// Entry is the committed profile, attached to "store-commit" events
+	// only when persisting, so replay can rebuild the store.
+	Entry *Entry `json:"entry,omitempty"`
 }
 
 // Journal is an append-only, concurrency-safe event log.
@@ -63,11 +71,21 @@ type Journal struct {
 	mu     sync.Mutex
 	start  time.Time
 	events []Event
+	sink   func(Event)
 }
 
 // NewJournal opens an empty journal; Wall timestamps are relative to now.
 func NewJournal() *Journal {
 	return &Journal{start: time.Now()}
+}
+
+// SetSink installs a tee: every subsequent event is handed to fn, under
+// the journal lock, in sequence order — the hook the fleet's WAL hangs
+// off. Install before any events are added.
+func (j *Journal) SetSink(fn func(Event)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.sink = fn
 }
 
 func (j *Journal) add(e Event) {
@@ -76,6 +94,9 @@ func (j *Journal) add(e Event) {
 	e.Seq = len(j.events)
 	e.Wall = time.Since(j.start).Seconds()
 	j.events = append(j.events, e)
+	if j.sink != nil {
+		j.sink(e)
+	}
 }
 
 // Events returns a copy of the log in append order.
@@ -88,9 +109,13 @@ func (j *Journal) Events() []Event {
 }
 
 // SessionEvents returns the events belonging to one session, in order.
+// It filters under the lock rather than copying the whole log first, so a
+// per-session query allocates O(matches), not O(total events).
 func (j *Journal) SessionEvents(id int) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	var out []Event
-	for _, e := range j.Events() {
+	for _, e := range j.events {
 		if e.Session == id {
 			out = append(out, e)
 		}

@@ -114,6 +114,20 @@ type Snapshot struct {
 	BreakerTrips    int     `json:"breaker_trips"`
 	BreakersOpen    int     `json:"breakers_open"`
 	VirtualClock    float64 `json:"virtual_clock"`
+	// Breakers details every per-(bench, input) breaker with recorded
+	// rollbacks: its state (open, half-open, closed) and consecutive-
+	// rollback depth. Empty (and omitted) until a breaker sees trouble.
+	Breakers []admission.BreakerState `json:"breakers,omitempty"`
+
+	// Persistence reports the WAL layer: "" when the fleet is purely
+	// in-memory, "active" when the state dir is live, "degraded" after a
+	// disk failure flipped the fleet back to in-memory mode (the error
+	// rides in PersistenceError).
+	Persistence      string `json:"persistence,omitempty"`
+	PersistenceError string `json:"persistence_error,omitempty"`
+	WALEpoch         int    `json:"wal_epoch,omitempty"`
+	WALRecords       int    `json:"wal_records,omitempty"`
+	WALSnapshots     int    `json:"wal_snapshots,omitempty"`
 
 	// Terminal outcome counts (rpg2 outcome names).
 	Tuned        int `json:"tuned"`
@@ -174,7 +188,7 @@ func meanInt(xs []int) float64 {
 }
 
 func (m *metrics) snapshot(store *Store, builds *workloads.BuildCache, workers, queuePeak int,
-	sched admission.Stats, breakersOpen int) Snapshot {
+	sched admission.Stats, breakersOpen int, breakers []admission.BreakerState) Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
@@ -189,6 +203,7 @@ func (m *metrics) snapshot(store *Store, builds *workloads.BuildCache, workers, 
 		QuotaStalls:     sched.QuotaStalls,
 		BreakerTrips:    sched.BreakerTrips,
 		BreakersOpen:    breakersOpen,
+		Breakers:        breakers,
 		VirtualClock:    sched.Clock,
 		Tuned:           m.outcomes["tuned"],
 		RolledBack:      m.outcomes["rolled-back"],
@@ -272,5 +287,25 @@ func (s Snapshot) Render() string {
 		s.Workers, s.QueuePeak)
 	fmt.Fprintf(&b, "  resilience     %d retries (%.1fs backoff), %d quota stalls, %d breaker trips (%d open)\n",
 		s.Retries, s.BackoffWaitSecs, s.QuotaStalls, s.BreakerTrips, s.BreakersOpen)
+	// Per-key breaker detail: which (bench, input) keys are in trouble and
+	// how deep, not just how many are open.
+	for _, br := range s.Breakers {
+		key := br.Key.Bench
+		if br.Key.Input != "" {
+			key += "/" + br.Key.Input
+		}
+		fmt.Fprintf(&b, "    breaker      %-14s %s, %d consecutive rollbacks", key, br.State(), br.Consecutive)
+		if br.Open && !br.HalfOpen {
+			fmt.Fprintf(&b, ", half-open trial at t=%.1fs", br.ReopenAt)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	switch s.Persistence {
+	case "active":
+		fmt.Fprintf(&b, "  persistence    active: epoch %d, %d WAL records, %d snapshots\n",
+			s.WALEpoch, s.WALRecords, s.WALSnapshots)
+	case "degraded":
+		fmt.Fprintf(&b, "  persistence    degraded (continuing in-memory): %s\n", s.PersistenceError)
+	}
 	return b.String()
 }

@@ -1,0 +1,308 @@
+// Crash-safe persistence for the fleet. When Config.StateDir is set, the
+// fleet tees every journal event into an append-only checksummed WAL
+// (internal/wal) and periodically snapshots the profile store plus the
+// admission scheduler's exportable state into a second, atomically
+// replaced file. Recovery (recover.go) is snapshot + roll-forward: load
+// the last snapshot, replay the journal events past its watermark, and
+// re-admit every session that never reached a terminal record.
+//
+// Persistence must never block session progress: the first failed disk
+// write flips the fleet into degraded in-memory mode — the WAL is
+// abandoned, sessions keep running, and the metrics snapshot surfaces
+// "Persistence: degraded" with the error.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"rpg2/internal/admission"
+	"rpg2/internal/baselines"
+	"rpg2/internal/machine"
+	"rpg2/internal/wal"
+)
+
+// State-dir file names: the event WAL and the store+scheduler snapshot.
+const (
+	journalFile  = "journal.wal"
+	snapshotFile = "snapshot.wal"
+)
+
+// SpecRecord is the JSON-safe projection of a SessionSpec the WAL
+// persists on "queued" events so a crashed fleet can re-admit waiting
+// sessions. Closure-carrying fields (Spec.Config's hooks) cannot survive
+// a process, so recovered sessions re-run under the fleet's base
+// controller config; a Machine override is carried by name.
+type SpecRecord struct {
+	Bench             string                 `json:"bench"`
+	Input             string                 `json:"input,omitempty"`
+	Kind              uint8                  `json:"kind,omitempty"`
+	Priority          int                    `json:"priority,omitempty"`
+	Machine           string                 `json:"machine,omitempty"`
+	Seed              int64                  `json:"seed,omitempty"`
+	Cold              bool                   `json:"cold,omitempty"`
+	RunSeconds        float64                `json:"run_seconds,omitempty"`
+	TailSeconds       float64                `json:"tail_seconds,omitempty"`
+	TailWindows       int                    `json:"tail_windows,omitempty"`
+	TailWindowSeconds float64                `json:"tail_window_seconds,omitempty"`
+	Distance          int                    `json:"distance,omitempty"`
+	Candidates        []int                  `json:"candidates,omitempty"`
+	Sweep             *baselines.SweepConfig `json:"sweep,omitempty"`
+	ProfileSeconds    float64                `json:"profile_seconds,omitempty"`
+}
+
+// recordSpec projects a spec for the WAL.
+func recordSpec(spec SessionSpec) *SpecRecord {
+	r := &SpecRecord{
+		Bench: spec.Bench, Input: spec.Input, Kind: uint8(spec.Kind),
+		Priority: spec.Priority, Seed: spec.Seed, Cold: spec.Cold,
+		RunSeconds: spec.RunSeconds, TailSeconds: spec.TailSeconds,
+		TailWindows: spec.TailWindows, TailWindowSeconds: spec.TailWindowSeconds,
+		Distance: spec.Distance, Candidates: spec.Candidates,
+		Sweep: spec.Sweep, ProfileSeconds: spec.ProfileSeconds,
+	}
+	if spec.Machine != nil {
+		r.Machine = spec.Machine.Name
+	}
+	return r
+}
+
+// spec rehydrates the projection. An unknown machine-override name falls
+// back to the fleet's machine (dropping the override, not the session).
+func (r *SpecRecord) spec() SessionSpec {
+	s := SessionSpec{
+		Bench: r.Bench, Input: r.Input, Kind: Kind(r.Kind),
+		Priority: r.Priority, Seed: r.Seed, Cold: r.Cold,
+		RunSeconds: r.RunSeconds, TailSeconds: r.TailSeconds,
+		TailWindows: r.TailWindows, TailWindowSeconds: r.TailWindowSeconds,
+		Distance: r.Distance, Candidates: r.Candidates,
+		Sweep: r.Sweep, ProfileSeconds: r.ProfileSeconds,
+	}
+	if r.Machine != "" {
+		if m, ok := machine.ByName(r.Machine); ok {
+			s.Machine = &m
+		}
+	}
+	return s
+}
+
+// walMeta is the first record of both state files: it names the file's
+// role and epoch, and (for snapshots) the journal watermark — the highest
+// event Seq whose effects the snapshot already folds in.
+type walMeta struct {
+	Wal   string `json:"wal"`
+	Epoch int    `json:"epoch"`
+	Seq   int    `json:"seq"`
+}
+
+// walSched frames the scheduler state inside a snapshot file.
+type walSched struct {
+	Sched *admission.PersistState `json:"sched"`
+}
+
+// persister owns the fleet's on-disk state. All methods are safe for
+// concurrent use and degrade (rather than fail) on disk errors.
+type persister struct {
+	dir       string
+	epoch     int
+	snapEvery int
+
+	mu        sync.Mutex
+	log       *wal.Log
+	lastSeq   int // highest event Seq appended to the WAL
+	commits   int // store commits since the last snapshot
+	snapshots int
+	degraded  bool
+	err       error
+	closed    bool
+}
+
+// openPersister starts epoch state under dir: it reads the previous
+// epoch number from whatever state files exist, bumps it, truncates the
+// journal WAL, and stamps the epoch record. The caller writes the initial
+// snapshot (it owns the store and scheduler). A nil persister with a nil
+// error means persistence is disabled; a non-nil error means the state
+// dir is unusable and the fleet should degrade from birth.
+func openPersister(dir string, fsync wal.SyncMode, interval, snapEvery int) (*persister, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if snapEvery <= 0 {
+		snapEvery = 8
+	}
+	epoch := prevEpoch(dir) + 1
+	// A fresh epoch starts a fresh journal: everything before it lives in
+	// the initial snapshot the fleet writes right after this.
+	if err := os.Remove(filepath.Join(dir, journalFile)); err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	log, _, err := wal.Open(filepath.Join(dir, journalFile), wal.Config{Sync: fsync, Interval: interval})
+	if err != nil {
+		return nil, err
+	}
+	p := &persister{dir: dir, epoch: epoch, snapEvery: snapEvery, log: log, lastSeq: -1}
+	meta, _ := json.Marshal(walMeta{Wal: "journal", Epoch: epoch})
+	if err := log.Append(meta); err != nil {
+		log.Abort()
+		return nil, err
+	}
+	return p, nil
+}
+
+// prevEpoch finds the newest epoch recorded in dir's state files (0 when
+// there are none).
+func prevEpoch(dir string) int {
+	best := 0
+	for _, name := range []string{snapshotFile, journalFile} {
+		recs, _, err := wal.ReadAll(filepath.Join(dir, name))
+		if err != nil || len(recs) == 0 {
+			continue
+		}
+		var m walMeta
+		if json.Unmarshal(recs[0], &m) == nil && m.Epoch > best {
+			best = m.Epoch
+		}
+	}
+	return best
+}
+
+// appendEvent is the journal sink: it runs under the journal lock, so WAL
+// records land in Seq order. Failures degrade instead of propagating.
+func (p *persister) appendEvent(e Event) {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		p.fail(fmt.Errorf("encode event: %w", err))
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.degraded || p.closed {
+		return
+	}
+	if err := p.log.Append(payload); err != nil {
+		p.failLocked(err)
+		return
+	}
+	p.lastSeq = e.Seq
+	if e.Type == "store-commit" {
+		p.commits++
+	}
+}
+
+// snapshotDue reports whether enough store commits accumulated to justify
+// a fresh snapshot.
+func (p *persister) snapshotDue() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return !p.degraded && !p.closed && p.commits >= p.snapEvery
+}
+
+// watermark is the highest event Seq known to be in the WAL. Capture it
+// BEFORE exporting the store: every store mutation happens before its
+// journal event, so an export taken afterwards folds in every event up to
+// (at least) this Seq, and replaying a little extra is idempotent.
+func (p *persister) watermark() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastSeq
+}
+
+// writeSnapshot atomically replaces the snapshot file with the given
+// state, covering journal events up to seq.
+func (p *persister) writeSnapshot(seq int, sched admission.PersistState, entries []KeyedEntry) {
+	payloads := make([][]byte, 0, len(entries)+2)
+	meta, _ := json.Marshal(walMeta{Wal: "snapshot", Epoch: p.epoch, Seq: seq})
+	payloads = append(payloads, meta)
+	sc, err := json.Marshal(walSched{Sched: &sched})
+	if err != nil {
+		p.fail(fmt.Errorf("encode scheduler state: %w", err))
+		return
+	}
+	payloads = append(payloads, sc)
+	for _, ke := range entries {
+		b, err := json.Marshal(ke)
+		if err != nil {
+			p.fail(fmt.Errorf("encode store entry: %w", err))
+			return
+		}
+		payloads = append(payloads, b)
+	}
+
+	p.mu.Lock()
+	if p.degraded || p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	err = wal.WriteAtomic(filepath.Join(p.dir, snapshotFile), payloads)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err != nil {
+		p.failLocked(err)
+		return
+	}
+	p.snapshots++
+	p.commits = 0
+}
+
+// fail flips the persister into degraded in-memory mode.
+func (p *persister) fail(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.failLocked(err)
+}
+
+func (p *persister) failLocked(err error) {
+	if p.degraded {
+		return
+	}
+	p.degraded = true
+	p.err = err
+	if p.log != nil {
+		p.log.Abort()
+	}
+}
+
+// close flushes and closes the WAL; the caller writes the final snapshot
+// first. Idempotent.
+func (p *persister) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	if p.log != nil && !p.degraded {
+		if err := p.log.Close(); err != nil {
+			p.degraded, p.err = true, err
+		}
+	}
+}
+
+// health fills the snapshot's persistence block.
+func (p *persister) health(s *Snapshot) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.degraded {
+		s.Persistence = "degraded"
+		if p.err != nil {
+			s.PersistenceError = p.err.Error()
+		}
+	} else {
+		s.Persistence = "active"
+	}
+	s.WALEpoch = p.epoch
+	s.WALSnapshots = p.snapshots
+	if p.log != nil {
+		s.WALRecords = p.log.Records()
+	}
+}
+
+// degradedPersister represents a fleet whose state dir was unusable from
+// birth: permanently degraded, never writing.
+func degradedPersister(dir string, err error) *persister {
+	return &persister{dir: dir, degraded: true, err: err, lastSeq: -1}
+}

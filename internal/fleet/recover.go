@@ -1,0 +1,335 @@
+// Crash recovery: rebuild a fleet's durable state from its state dir.
+// The invariants, in order of importance:
+//
+//  1. No committed profile-store entry is lost: entries live in the last
+//     snapshot, and commits after its watermark roll forward from the
+//     journal WAL (store mutations always precede their journal events,
+//     so the watermark never overclaims; replaying a little extra is
+//     idempotent).
+//  2. No submitted session is lost: every session whose journal lacks a
+//     terminal record is re-admitted. A session that was in flight when
+//     the process died re-runs as the next attempt — cold, with a
+//     derived seed — exactly the retry lane's discipline for a failed
+//     attempt; a session still waiting (queue, retry lane, or cancelled
+//     by a SIGINT drain) is re-admitted as the attempt it was waiting
+//     for. Sessions with closure-carrying specs re-run under the fleet's
+//     base config (closures cannot survive a process).
+//  3. Scheduler posture survives: the virtual clock, policy counters,
+//     and breaker states import from the snapshot, then breaker edges
+//     journaled after the watermark roll forward coarsely.
+//
+// Recovery starts a fresh epoch: the rebuilt state is written as a new
+// snapshot first, then the journal is truncated — whichever file an
+// interrupted recovery leaves newer, a later recovery reads a consistent
+// pairing.
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"rpg2/internal/admission"
+	"rpg2/internal/wal"
+)
+
+// Recovery reports what Recover rebuilt and salvaged.
+type Recovery struct {
+	// StateDir is the recovered state directory; Epoch is the fresh epoch
+	// the recovered fleet writes, PrevEpoch the one it recovered.
+	StateDir  string `json:"state_dir"`
+	Epoch     int    `json:"epoch"`
+	PrevEpoch int    `json:"prev_epoch"`
+	// JournalSalvage and SnapshotSalvage report WAL damage (a torn tail
+	// from the crash is normal and harmless).
+	JournalSalvage  wal.Salvage `json:"journal_salvage"`
+	SnapshotSalvage wal.Salvage `json:"snapshot_salvage"`
+	// Events is how many journal events the crashed epoch left behind;
+	// Replayed counts the store/breaker events rolled forward past the
+	// snapshot watermark.
+	Events   int `json:"events"`
+	Replayed int `json:"replayed"`
+	// StoreEntries is how many committed profile entries survived.
+	StoreEntries int `json:"store_entries"`
+	// Breakers is how many breaker postures were restored.
+	Breakers int `json:"breakers"`
+	// Sessions is the distinct session count in the crashed journal;
+	// Terminal of those had already finished.
+	Sessions int `json:"sessions"`
+	Terminal int `json:"terminal"`
+	// Requeued holds the re-admitted sessions' new handles, in the old
+	// admission order; RequeuedWaiting of them were still waiting at the
+	// crash, RequeuedInFlight were mid-run (and re-run cold).
+	Requeued         []*Session `json:"-"`
+	RequeuedWaiting  int        `json:"requeued_waiting"`
+	RequeuedInFlight int        `json:"requeued_in_flight"`
+}
+
+// Summary renders the one-line operator account rpg2-fleet prints.
+func (r *Recovery) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "recovered epoch %d -> %d: %d sessions submitted pre-crash, %d terminal, %d requeued (%d waiting, %d in-flight), %d store entries, %d breakers",
+		r.PrevEpoch, r.Epoch, r.Sessions, r.Terminal, len(r.Requeued),
+		r.RequeuedWaiting, r.RequeuedInFlight, r.StoreEntries, r.Breakers)
+	if !r.JournalSalvage.Clean() {
+		fmt.Fprintf(&b, "; journal salvage: %s", r.JournalSalvage)
+	}
+	if !r.SnapshotSalvage.Clean() {
+		fmt.Fprintf(&b, "; snapshot salvage: %s", r.SnapshotSalvage)
+	}
+	return b.String()
+}
+
+// breakerEdge is a journaled breaker transition rolled forward past the
+// snapshot watermark.
+type breakerEdge struct {
+	key  admission.Key
+	open bool
+}
+
+// pendingSession is one session owed a re-admission.
+type pendingSession struct {
+	oldID   int
+	spec    SessionSpec
+	attempt int
+	// inFlight: the session was mid-run at the crash; its attempt is
+	// already bumped and the re-run goes cold with a derived seed.
+	inFlight bool
+}
+
+// recoveredState is everything readState distils from the state dir.
+type recoveredState struct {
+	prevEpoch int
+	sched     *admission.PersistState
+	entries   map[Key]Entry
+	order     []Key // commit order for deterministic Restore
+	breakers  []breakerEdge
+	pending   []pendingSession
+	rec       *Recovery
+}
+
+// Recover rebuilds a fleet from stateDir: profile store, scheduler
+// posture, and the sessions that were queued or in flight when the
+// previous process died. The returned fleet is live (workers running,
+// re-admitted sessions dispatching); Drain it to finish the recovered
+// work. cfg.StateDir is overridden by stateDir.
+func Recover(stateDir string, cfg Config) (*Fleet, *Recovery, error) {
+	if stateDir == "" {
+		return nil, nil, errors.New("fleet: Recover needs a state dir")
+	}
+	if _, err := os.Stat(stateDir); err != nil {
+		return nil, nil, fmt.Errorf("fleet: state dir unreadable: %w", err)
+	}
+	cfg.StateDir = stateDir
+	st, err := readState(stateDir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	f := newFleet(cfg)
+	if f.store != nil && !cfg.DisableStore {
+		entries := make([]KeyedEntry, 0, len(st.entries))
+		for _, k := range st.order {
+			if e, ok := st.entries[k]; ok {
+				entries = append(entries, KeyedEntry{Key: k, Entry: e})
+			}
+		}
+		f.store.Restore(entries)
+	}
+	if st.sched != nil {
+		f.sched.Import(*st.sched)
+	}
+	for _, be := range st.breakers {
+		f.sched.ReplayBreaker(be.key, be.open)
+	}
+	st.rec.StoreEntries = len(st.entries)
+	st.rec.Breakers = len(f.sched.Breakers())
+
+	f.initPersist()
+	st.rec.Epoch = 0
+	if f.persist != nil {
+		st.rec.Epoch = f.persist.epoch
+	}
+	f.startWorkers()
+
+	for _, ps := range st.pending {
+		s := f.submitRecovered(ps.spec, ps.attempt)
+		st.rec.Requeued = append(st.rec.Requeued, s)
+		if ps.inFlight {
+			st.rec.RequeuedInFlight++
+		} else {
+			st.rec.RequeuedWaiting++
+		}
+	}
+	return f, st.rec, nil
+}
+
+// readState salvages the snapshot and journal and distils the recovered
+// state. Only unreadable directories are errors; damaged files salvage.
+func readState(dir string) (*recoveredState, error) {
+	st := &recoveredState{
+		entries: make(map[Key]Entry),
+		rec:     &Recovery{StateDir: dir},
+	}
+
+	// Snapshot: meta, scheduler state, store entries.
+	snapEpoch, snapSeq := 0, -1
+	snapRecs, sSal, err := wal.ReadAll(filepath.Join(dir, snapshotFile))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	st.rec.SnapshotSalvage = sSal
+	if len(snapRecs) > 0 {
+		var meta walMeta
+		if json.Unmarshal(snapRecs[0], &meta) == nil && meta.Wal == "snapshot" {
+			snapEpoch, snapSeq = meta.Epoch, meta.Seq
+			for _, rec := range snapRecs[1:] {
+				var sc walSched
+				if json.Unmarshal(rec, &sc) == nil && sc.Sched != nil {
+					st.sched = sc.Sched
+					continue
+				}
+				var ke KeyedEntry
+				if json.Unmarshal(rec, &ke) == nil && ke.Key.Bench != "" {
+					if _, seen := st.entries[ke.Key]; !seen {
+						st.order = append(st.order, ke.Key)
+					}
+					st.entries[ke.Key] = ke.Entry
+				}
+			}
+		}
+	}
+	// A partial snapshot (torn mid-write should be impossible under the
+	// atomic rename, but disks lie) cannot vouch for its watermark:
+	// replay the whole journal over whatever prefix survived.
+	if !sSal.Clean() {
+		snapSeq = -1
+	}
+
+	// Journal: epoch record then events.
+	journalEpoch := 0
+	var events []Event
+	jRecs, jSal, err := wal.ReadAll(filepath.Join(dir, journalFile))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	st.rec.JournalSalvage = jSal
+	for i, rec := range jRecs {
+		if i == 0 {
+			var meta walMeta
+			if json.Unmarshal(rec, &meta) == nil && meta.Wal == "journal" {
+				journalEpoch = meta.Epoch
+				continue
+			}
+		}
+		var e Event
+		if json.Unmarshal(rec, &e) == nil && e.Type != "" {
+			events = append(events, e)
+		}
+	}
+	st.rec.Events = len(events)
+	st.prevEpoch = journalEpoch
+	if snapEpoch > st.prevEpoch {
+		st.prevEpoch = snapEpoch
+	}
+	st.rec.PrevEpoch = st.prevEpoch
+
+	// The watermark only gates store/breaker roll-forward, and only when
+	// the snapshot describes this journal's epoch. An older journal (a
+	// previous recovery died between snapshot and journal reset) is fully
+	// folded into the snapshot already — but its pending sessions were
+	// never re-admitted anywhere, so session tracking still reads it.
+	watermark := snapSeq
+	switch {
+	case snapEpoch == journalEpoch:
+	case snapEpoch > journalEpoch:
+		watermark = int(^uint(0) >> 1) // fold nothing: snapshot is ahead
+	default:
+		watermark = -1 // no (usable) snapshot for this epoch: replay all
+	}
+
+	type track struct {
+		spec     *SpecRecord
+		attempt  int
+		inFlight bool
+		terminal bool
+		known    bool
+	}
+	sessions := make(map[int]*track)
+	var order []int
+	for _, e := range events {
+		if e.Session >= 0 {
+			tr := sessions[e.Session]
+			if tr == nil {
+				tr = &track{}
+				sessions[e.Session] = tr
+				order = append(order, e.Session)
+			}
+			switch e.Type {
+			case "queued":
+				tr.spec, tr.known = e.Spec, true
+				tr.attempt = e.Attempt
+			case "admitted":
+				tr.inFlight, tr.attempt = true, e.Attempt
+			case "retry-scheduled":
+				tr.inFlight, tr.terminal, tr.attempt = false, false, e.Attempt
+			case "session-done", "session-degraded":
+				tr.inFlight, tr.terminal = false, true
+			case "session-failed":
+				// A SIGINT drain's cancellations never ran: they are
+				// interrupted, not finished, and resume re-admits them.
+				tr.inFlight = false
+				tr.terminal = e.Err != ErrCanceled.Error()
+			}
+		}
+		if e.Seq <= watermark {
+			continue
+		}
+		st.rec.Replayed++
+		switch e.Type {
+		case "store-commit":
+			if e.Entry != nil {
+				k := Key{Bench: e.Bench, Input: e.Input, Machine: e.Machine}
+				if _, seen := st.entries[k]; !seen {
+					st.order = append(st.order, k)
+				}
+				st.entries[k] = *e.Entry
+			}
+		case "store-invalidate":
+			delete(st.entries, Key{Bench: e.Bench, Input: e.Input, Machine: e.Machine})
+		case "breaker-open":
+			st.breakers = append(st.breakers, breakerEdge{admission.Key{Bench: e.Bench, Input: e.Input}, true})
+		case "breaker-closed":
+			st.breakers = append(st.breakers, breakerEdge{admission.Key{Bench: e.Bench, Input: e.Input}, false})
+		default:
+			st.rec.Replayed--
+		}
+	}
+
+	sort.Ints(order)
+	st.rec.Sessions = len(order)
+	for _, id := range order {
+		tr := sessions[id]
+		if tr.terminal {
+			st.rec.Terminal++
+			continue
+		}
+		if !tr.known || tr.spec == nil {
+			// Damage swallowed the queued record; nothing to re-admit.
+			st.rec.Terminal++
+			continue
+		}
+		ps := pendingSession{oldID: id, spec: tr.spec.spec(), attempt: tr.attempt, inFlight: tr.inFlight}
+		if tr.inFlight {
+			// The crash killed the attempt mid-run: the next attempt goes
+			// cold with a derived seed, like any failed attempt.
+			ps.attempt++
+		}
+		st.pending = append(st.pending, ps)
+	}
+	return st, nil
+}

@@ -1,0 +1,433 @@
+// Crash-recovery acceptance tests. The centrepiece re-execs the test
+// binary as a fleet, SIGKILLs it mid-run (a real kill -9, not a simulated
+// one), and recovers in-process, asserting the issue's two invariants: no
+// committed store entry lost, no submitted session lost.
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rpg2/internal/machine"
+	"rpg2/internal/wal"
+)
+
+// crashPairs are the workloads the crash tests run; they all reliably tune
+// so the journal fills with store commits for recovery to protect.
+var crashPairs = []SessionSpec{
+	{Bench: "is"},
+	{Bench: "cg"},
+	{Bench: "randacc"},
+	{Bench: "bfs", Input: "soc-gamma"},
+}
+
+// TestCrashHelperProcess is not a test: it is the victim process the
+// kill-mid-run test spawns. It runs a persisted fleet over enough sessions
+// that the parent can SIGKILL it with work in every state — queued,
+// in-flight, and terminal — then parks forever (the kill is its only exit).
+func TestCrashHelperProcess(t *testing.T) {
+	if os.Getenv("FLEET_WANT_CRASH_HELPER") != "1" {
+		t.Skip("helper process for TestKillMidRunRecoverLosesNothing")
+	}
+	f := New(Config{
+		Machine: machine.CascadeLake(), Workers: 2,
+		StateDir: os.Getenv("FLEET_CRASH_DIR"),
+		// Every append hits disk, so the parent's kill tears at most the
+		// record being written; a huge SnapshotEvery pins recovery to the
+		// journal-replay path (the clean-close test covers snapshots).
+		Fsync: wal.SyncAlways, SnapshotEvery: 1 << 30,
+	})
+	for i := 0; i < 48; i++ {
+		spec := crashPairs[i%len(crashPairs)]
+		spec.Seed = int64(i + 1)
+		if _, err := f.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Drain()
+	time.Sleep(time.Minute) // the parent's SIGKILL ends this process
+}
+
+// journalLedger independently replays a journal WAL file: the committed
+// store keys that must survive recovery, and per-session terminality. It
+// deliberately re-derives the invariants from the raw file rather than
+// trusting Recover's own accounting.
+func journalLedger(t *testing.T, dir string) (keys map[Key]bool, sessions, terminal int) {
+	t.Helper()
+	recs, _, err := wal.ReadAll(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	keys = make(map[Key]bool)
+	state := make(map[int]bool) // session -> saw a terminal event last
+	for _, rec := range recs {
+		var e Event
+		if err := json.Unmarshal(rec, &e); err != nil || e.Type == "" {
+			continue
+		}
+		switch e.Type {
+		case "store-commit":
+			keys[Key{Bench: e.Bench, Input: e.Input, Machine: e.Machine}] = true
+		case "store-invalidate":
+			delete(keys, Key{Bench: e.Bench, Input: e.Input, Machine: e.Machine})
+		}
+		if e.Session < 0 {
+			continue
+		}
+		switch e.Type {
+		case "queued", "admitted":
+			if _, ok := state[e.Session]; !ok {
+				state[e.Session] = false
+			}
+		case "retry-scheduled":
+			state[e.Session] = false
+		case "session-done", "session-degraded":
+			state[e.Session] = true
+		case "session-failed":
+			state[e.Session] = e.Err != ErrCanceled.Error()
+		}
+	}
+	for _, done := range state {
+		sessions++
+		if done {
+			terminal++
+		}
+	}
+	return keys, sessions, terminal
+}
+
+// TestKillMidRunRecoverLosesNothing is the acceptance test: run a fleet in
+// a child process, kill -9 it once store commits are durable, then Recover
+// from its state dir. Every pre-crash session must end terminal (directly
+// or via re-admission), every committed store entry must survive, and
+// fresh sessions on recovered keys must warm-start.
+func TestKillMidRunRecoverLosesNothing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs the test binary")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=TestCrashHelperProcess", "-test.v")
+	cmd.Env = append(os.Environ(), "FLEET_WANT_CRASH_HELPER=1", "FLEET_CRASH_DIR="+dir)
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill once at least one store commit is on disk: from here on,
+	// recovery has something to lose.
+	journal := filepath.Join(dir, journalFile)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if data, err := os.ReadFile(journal); err == nil && bytes.Contains(data, []byte(`"store-commit"`)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("no store commit appeared in the child's WAL; child output:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait() // the kill is the expected exit
+
+	wantKeys, sessions, terminal := journalLedger(t, dir)
+	if sessions == 0 {
+		t.Fatalf("ledger saw no sessions; child output:\n%s", out.String())
+	}
+
+	f, rec, err := Recover(dir, Config{Machine: machine.CascadeLake(), Workers: 2})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	defer f.Close()
+
+	if rec.Sessions != sessions {
+		t.Fatalf("recovery saw %d sessions, ledger saw %d", rec.Sessions, sessions)
+	}
+	if rec.Terminal != terminal {
+		t.Fatalf("recovery counted %d terminal, ledger counted %d", rec.Terminal, terminal)
+	}
+	if rec.Terminal+len(rec.Requeued) != rec.Sessions {
+		t.Fatalf("sessions lost: %d terminal + %d requeued != %d seen",
+			rec.Terminal, len(rec.Requeued), rec.Sessions)
+	}
+	if rec.StoreEntries != len(wantKeys) {
+		t.Fatalf("recovered %d store entries, ledger says %d survive", rec.StoreEntries, len(wantKeys))
+	}
+	if rec.Epoch != rec.PrevEpoch+1 {
+		t.Fatalf("epoch %d does not succeed %d", rec.Epoch, rec.PrevEpoch)
+	}
+
+	// Finish the recovered work: every re-admitted session must reach a
+	// terminal state, and in-flight-at-crash re-runs must not warm-start
+	// (retry discipline: the interrupted attempt's profile is suspect).
+	f.Drain()
+	for _, s := range rec.Requeued {
+		if !s.State().Terminal() {
+			t.Fatalf("requeued session %d never finished: %v", s.ID, s.State())
+		}
+		if s.Attempt() > 0 && s.Warm() {
+			t.Fatalf("in-flight re-run %d warm-started", s.ID)
+		}
+	}
+
+	// Recovered entries must be reusable: a fresh session on a recovered
+	// key warm-starts from the pre-crash profile.
+	if len(wantKeys) > 0 {
+		var spec SessionSpec
+		for k := range wantKeys {
+			spec = SessionSpec{Bench: k.Bench, Input: k.Input, Seed: 9001}
+			break
+		}
+		before := f.Snapshot().Store.Hits
+		s, err := f.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Drain()
+		if !s.State().Terminal() || s.State() == Failed {
+			t.Fatalf("post-recovery session state = %v (err %v)", s.State(), s.Err())
+		}
+		if !s.Warm() {
+			t.Fatal("session on a recovered key did not warm-start")
+		}
+		if hits := f.Snapshot().Store.Hits; hits <= before {
+			t.Fatalf("warm-hit counter did not move: %d -> %d", before, hits)
+		}
+	}
+}
+
+// TestCleanCloseRecover: a cleanly closed state dir resumes from its final
+// snapshot with nothing to requeue and the full store intact.
+func TestCleanCloseRecover(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Machine: machine.CascadeLake(), Workers: 2, StateDir: dir}
+	f := New(cfg)
+	for i, spec := range crashPairs {
+		spec.Seed = int64(i + 1)
+		if _, err := f.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Drain()
+	want := f.Store().Export()
+	f.Close()
+
+	f2, rec, err := Recover(dir, Config{Machine: machine.CascadeLake(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if len(rec.Requeued) != 0 {
+		t.Fatalf("clean close requeued %d sessions", len(rec.Requeued))
+	}
+	if rec.Sessions != len(crashPairs) || rec.Terminal != len(crashPairs) {
+		t.Fatalf("accounting = %d sessions / %d terminal, want %d / %d",
+			rec.Sessions, rec.Terminal, len(crashPairs), len(crashPairs))
+	}
+	got := f2.Store().Export()
+	if len(got) != len(want) {
+		t.Fatalf("store entries = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Key != want[i].Key || got[i].Entry.Distance != want[i].Entry.Distance {
+			t.Fatalf("entry %d mismatch: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	if !rec.JournalSalvage.Clean() || !rec.SnapshotSalvage.Clean() {
+		t.Fatalf("clean close reported salvage: %s / %s", rec.JournalSalvage, rec.SnapshotSalvage)
+	}
+}
+
+// TestRecoverCancelledSessionsResume: sessions a SIGINT drain cancelled
+// (ErrCanceled) are interrupted, not finished — resume re-admits them.
+func TestRecoverCancelledSessionsResume(t *testing.T) {
+	dir := t.TempDir()
+	f := New(Config{Machine: machine.CascadeLake(), Workers: 1, StateDir: dir})
+	// One session runs; the rest are parked behind the single worker and
+	// then cancelled, mimicking an interrupted run's drain.
+	var specs []SessionSpec
+	for i := 0; i < 6; i++ {
+		spec := crashPairs[i%len(crashPairs)]
+		spec.Seed = int64(i + 1)
+		specs = append(specs, spec)
+	}
+	for _, spec := range specs {
+		if _, err := f.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cancelled := f.CancelQueued()
+	f.Drain()
+	f.Close()
+	if cancelled == 0 {
+		t.Skip("every session dispatched before the cancel; nothing to assert")
+	}
+
+	f2, rec, err := Recover(dir, Config{Machine: machine.CascadeLake(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if len(rec.Requeued) != cancelled {
+		t.Fatalf("requeued %d, cancelled %d", len(rec.Requeued), cancelled)
+	}
+	f2.Drain()
+	for _, s := range rec.Requeued {
+		if !s.State().Terminal() || s.State() == Failed {
+			t.Fatalf("resumed session %d state = %v (err %v)", s.ID, s.State(), s.Err())
+		}
+	}
+}
+
+// TestRecoverCorruptTail: flip a byte in the journal's tail and truncate
+// the snapshot to garbage; recovery keeps the valid prefix, reports the
+// damage, and still loses no fully journaled commit.
+func TestRecoverCorruptTail(t *testing.T) {
+	dir := t.TempDir()
+	f := New(Config{Machine: machine.CascadeLake(), Workers: 2, StateDir: dir, SnapshotEvery: 1 << 30})
+	for i, spec := range crashPairs {
+		spec.Seed = int64(i + 1)
+		if _, err := f.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Drain()
+	f.Close()
+
+	// Snapshot file: overwrite with garbage (a torn snapshot write).
+	if err := os.WriteFile(filepath.Join(dir, snapshotFile), []byte("not a wal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Journal: chop mid-record to simulate a torn tail.
+	jp := filepath.Join(dir, journalFile)
+	data, err := os.ReadFile(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jp, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantKeys, _, _ := journalLedger(t, dir)
+
+	f2, rec, err := Recover(dir, Config{Machine: machine.CascadeLake(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if rec.JournalSalvage.Clean() {
+		t.Fatal("torn journal tail went unreported")
+	}
+	if rec.StoreEntries != len(wantKeys) {
+		t.Fatalf("recovered %d entries, salvaged ledger says %d", rec.StoreEntries, len(wantKeys))
+	}
+	f2.Drain()
+	for _, s := range rec.Requeued {
+		if !s.State().Terminal() {
+			t.Fatalf("requeued session %d not terminal", s.ID)
+		}
+	}
+}
+
+// TestRecoverEmptyStateDir: recovering a dir with no state files yields an
+// empty, working fleet rather than an error.
+func TestRecoverEmptyStateDir(t *testing.T) {
+	dir := t.TempDir()
+	f, rec, err := Recover(dir, Config{Machine: machine.CascadeLake(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if rec.Sessions != 0 || rec.StoreEntries != 0 || len(rec.Requeued) != 0 {
+		t.Fatalf("empty dir recovered state: %+v", rec)
+	}
+	s, err := f.Submit(SessionSpec{Bench: "is", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Drain()
+	if !s.State().Terminal() {
+		t.Fatalf("session state = %v", s.State())
+	}
+}
+
+// TestRecoverMissingDirErrors: Recover refuses a nonexistent dir (it would
+// silently resume nothing) — that is New's job, not Recover's.
+func TestRecoverMissingDirErrors(t *testing.T) {
+	if _, _, err := Recover(filepath.Join(t.TempDir(), "nope"), Config{Machine: machine.CascadeLake()}); err == nil {
+		t.Fatal("Recover of a missing dir succeeded")
+	}
+	if _, _, err := Recover("", Config{Machine: machine.CascadeLake()}); err == nil {
+		t.Fatal("Recover of an empty dir name succeeded")
+	}
+}
+
+// TestDiskFailureDegrades: the first failed WAL write flips the fleet to
+// in-memory mode — sessions keep finishing, and the snapshot surfaces the
+// degradation instead of hiding it.
+func TestDiskFailureDegrades(t *testing.T) {
+	dir := t.TempDir()
+	f := New(Config{Machine: machine.CascadeLake(), Workers: 2, StateDir: dir})
+	defer f.Close()
+	if snap := f.Snapshot(); snap.Persistence != "active" {
+		t.Fatalf("fresh persisted fleet reports %q", snap.Persistence)
+	}
+	// Yank the WAL's fd out from under the fleet: the next append fails
+	// exactly like a dead disk.
+	f.persist.mu.Lock()
+	f.persist.log.Abort()
+	f.persist.mu.Unlock()
+
+	for i, spec := range crashPairs {
+		spec.Seed = int64(i + 1)
+		if _, err := f.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Drain()
+	for _, s := range f.Sessions() {
+		if !s.State().Terminal() || s.State() == Failed {
+			t.Fatalf("session %d did not survive the disk failure: %v (err %v)", s.ID, s.State(), s.Err())
+		}
+	}
+	snap := f.Snapshot()
+	if snap.Persistence != "degraded" {
+		t.Fatalf("persistence = %q after disk failure", snap.Persistence)
+	}
+	if !strings.Contains(snap.Render(), "persistence    degraded") {
+		t.Fatalf("Render hides the degradation:\n%s", snap.Render())
+	}
+}
+
+// TestUnusableStateDirDegradesFromBirth: New with a hopeless state dir
+// still returns a working (degraded) fleet.
+func TestUnusableStateDirDegradesFromBirth(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f := New(Config{Machine: machine.CascadeLake(), Workers: 1,
+		StateDir: filepath.Join(blocker, "sub")}) // MkdirAll through a file fails
+	defer f.Close()
+	s, err := f.Submit(SessionSpec{Bench: "is", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Drain()
+	if !s.State().Terminal() || s.State() == Failed {
+		t.Fatalf("session state = %v (err %v)", s.State(), s.Err())
+	}
+	if snap := f.Snapshot(); snap.Persistence != "degraded" || snap.PersistenceError == "" {
+		t.Fatalf("snapshot = %q / %q", snap.Persistence, snap.PersistenceError)
+	}
+}

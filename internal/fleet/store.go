@@ -9,7 +9,10 @@
 // being pinned to a bad distance forever.
 package fleet
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // Key identifies the workload context a profile was collected in. Profiles
 // are machine-specific: the paper's central result is that a distance tuned
@@ -154,6 +157,50 @@ func (s *Store) Thaw() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.frozen = false
+}
+
+// KeyedEntry pairs a key with its entry: the unit a WAL snapshot persists
+// and crash recovery restores.
+type KeyedEntry struct {
+	Key   Key   `json:"key"`
+	Entry Entry `json:"entry"`
+}
+
+// Export returns every live entry sorted by key, for deterministic
+// snapshots. Reuse budgets and generations are process-local and are not
+// exported.
+func (s *Store) Export() []KeyedEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]KeyedEntry, 0, len(s.entries))
+	for k, e := range s.entries {
+		out = append(out, KeyedEntry{Key: k, Entry: e.Entry})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		if a.Bench != b.Bench {
+			return a.Bench < b.Bench
+		}
+		if a.Input != b.Input {
+			return a.Input < b.Input
+		}
+		return a.Machine < b.Machine
+	})
+	return out
+}
+
+// Restore installs recovered entries wholesale, each with a fresh
+// generation and a full reuse budget. It is the crash-recovery path, meant
+// for a store no session is using yet; it does not touch the policy
+// counters (recovered entries were already counted by the process that
+// committed them).
+func (s *Store) Restore(entries []KeyedEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ke := range entries {
+		s.gen++
+		s.entries[ke.Key] = &storeEntry{Entry: ke.Entry, gen: s.gen}
+	}
 }
 
 // Len reports the number of live entries.

@@ -37,6 +37,7 @@ import (
 	"rpg2/internal/perf"
 	"rpg2/internal/proc"
 	rpgcore "rpg2/internal/rpg2"
+	"rpg2/internal/wal"
 	"rpg2/internal/workloads"
 )
 
@@ -263,6 +264,43 @@ var ErrFleetClosed = fleet.ErrClosed
 // ErrSessionCanceled marks sessions evicted from the admission queue by
 // Fleet.CancelQueued (graceful shutdown) before ever dispatching.
 var ErrSessionCanceled = fleet.ErrCanceled
+
+// FsyncPolicy selects the WAL durability policy for a persisted fleet
+// (FleetConfig.Fsync).
+type FsyncPolicy = wal.SyncMode
+
+// WAL durability policies.
+const (
+	// FsyncInterval (the default) fsyncs every FleetConfig.FsyncInterval
+	// appends and on close.
+	FsyncInterval = wal.SyncInterval
+	// FsyncAlways fsyncs every append: maximum durability, one disk round
+	// trip per journal event.
+	FsyncAlways = wal.SyncAlways
+	// FsyncOnClose fsyncs only on close: the OS decides what a crash keeps.
+	FsyncOnClose = wal.SyncOnClose
+)
+
+// ParseFsyncPolicy resolves "interval", "always", or "never"/"onclose".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return wal.ParseSyncMode(s) }
+
+// WALSalvage reports what WAL recovery kept and dropped from a damaged
+// state file.
+type WALSalvage = wal.Salvage
+
+// FleetRecovery is Fleet recovery's account of what it rebuilt: salvage
+// reports, session accounting, and the re-admitted session handles.
+type FleetRecovery = fleet.Recovery
+
+// RecoverFleet rebuilds a crashed (or cleanly closed) fleet from its state
+// dir: the profile store, the scheduler's breaker/retry/quota posture, and
+// every session that was queued or in flight when the process died — the
+// latter re-admitted (an interrupted in-flight attempt re-runs cold with a
+// derived seed). The returned fleet is live; Drain it to finish the
+// recovered work.
+func RecoverFleet(stateDir string, cfg FleetConfig) (*Fleet, *FleetRecovery, error) {
+	return fleet.Recover(stateDir, cfg)
+}
 
 // FaultStage names an injection boundary inside the controller:
 // "profile" (sample collection), "rewrite" (the BOLT pass), or "osr"
