@@ -19,6 +19,10 @@
 //	rpg2-fleet -state-dir ./state -fsync always -sessions 48
 //	rpg2-fleet -state-dir ./state -resume
 //
+// A state dir that still holds an interrupted run is protected: starting
+// fresh over it refuses with an error unless -fresh explicitly discards
+// the unfinished work.
+//
 // SIGINT triggers a graceful shutdown: queued sessions are cancelled,
 // in-flight sessions drain, the WAL is flushed and closed (so the state
 // dir is resumable), and the snapshot (and journal, if requested) still
@@ -60,6 +64,7 @@ type options struct {
 	// Persistence knobs.
 	stateDir string
 	resume   bool
+	fresh    bool
 	fsync    string
 }
 
@@ -82,6 +87,7 @@ func main() {
 	flag.IntVar(&o.breaker, "breaker", 0, "consecutive rollbacks that trip a pair's circuit breaker (0 = off)")
 	flag.StringVar(&o.stateDir, "state-dir", "", "persist the journal WAL and profile-store snapshots here (empty = in-memory only)")
 	flag.BoolVar(&o.resume, "resume", false, "recover the state dir and finish its interrupted sessions instead of submitting new work")
+	flag.BoolVar(&o.fresh, "fresh", false, "discard a state dir's interrupted run and start a fresh epoch (default: refuse)")
 	flag.StringVar(&o.fsync, "fsync", "interval", "WAL durability: interval, always, or never")
 	flag.Parse()
 
@@ -152,6 +158,13 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	// Guard the operator who forgets -resume: a state dir holding an
+	// interrupted run is recoverable work, not scratch space.
+	if o.stateDir != "" && !o.resume && !o.fresh {
+		if n := rpg2.FleetPendingSessions(o.stateDir); n > 0 {
+			return fmt.Errorf("state dir %q holds an interrupted run (%d unfinished sessions); pass -resume to finish it or -fresh to discard it", o.stateDir, n)
+		}
+	}
 	cfg := rpg2.FleetConfig{
 		Machine:          m,
 		Workers:          o.workers,
@@ -162,6 +175,7 @@ func run(o options) error {
 		BreakerThreshold: o.breaker,
 		StateDir:         o.stateDir,
 		Fsync:            fsync,
+		Overwrite:        o.fresh,
 	}
 	if o.faults > 0 {
 		cfg.Faults = rpg2.NewFaultInjector(rpg2.FaultConfig{Seed: o.faultSeed, Rate: o.faults})

@@ -389,6 +389,13 @@ type Config struct {
 	// SnapshotEvery is how many store commits trigger a fresh snapshot
 	// (default 8).
 	SnapshotEvery int
+	// Overwrite lets New start a fresh epoch over a state dir whose
+	// journal still holds unfinished sessions. Without it, New refuses to
+	// destroy recoverable state: the fleet runs degraded (in-memory) with
+	// the refusal surfaced in the health snapshot, and the state dir stays
+	// exactly as the crash left it for Recover. Recover itself consumes
+	// the old state and overwrites implicitly.
+	Overwrite bool
 }
 
 func (c Config) defaults() Config {
@@ -432,6 +439,10 @@ type Fleet struct {
 	sessions  []*Session
 
 	workers sync.WaitGroup
+	// snapMu serializes persistSnapshot: state capture and the atomic
+	// snapshot replace happen one at a time, so concurrent workers never
+	// interleave writes through the snapshot's shared temp file.
+	snapMu sync.Mutex
 }
 
 // New starts a fleet: the worker pool is live immediately and sessions run
@@ -439,6 +450,7 @@ type Fleet struct {
 func New(cfg Config) *Fleet {
 	f := newFleet(cfg)
 	f.initPersist()
+	f.commitPersist()
 	f.startWorkers()
 	return f
 }
@@ -470,26 +482,46 @@ func newFleet(cfg Config) *Fleet {
 	return f
 }
 
-// initPersist opens the WAL epoch when StateDir is set and writes the
-// initial snapshot (so the fresh journal always has a same-epoch snapshot
-// beneath it, carrying any recovered state). An unusable state dir
-// degrades the fleet instead of failing it.
+// initPersist stages the WAL epoch when StateDir is set: the epoch's
+// initial snapshot (carrying any recovered store and scheduler state)
+// lands atomically on disk first, then a staged journal opens for
+// appends; commitPersist publishes it over the previous epoch's journal.
+// An unusable state dir degrades the fleet instead of failing it — and so
+// does a state dir still holding an interrupted run, unless the caller
+// explicitly opted into discarding it (Config.Overwrite) or is Recover,
+// which consumes that state. Either way the old files are untouched.
 func (f *Fleet) initPersist() {
 	if f.cfg.StateDir == "" {
 		return
 	}
-	p, err := openPersister(f.cfg.StateDir, f.cfg.Fsync, f.cfg.FsyncInterval, f.cfg.SnapshotEvery)
+	if !f.cfg.Overwrite {
+		if n := PendingSessions(f.cfg.StateDir); n > 0 {
+			f.persist = degradedPersister(f.cfg.StateDir, fmt.Errorf(
+				"state dir holds an interrupted run (%d unfinished sessions); Recover it (-resume) or set Overwrite (-fresh) to discard it", n))
+			return
+		}
+	}
+	entries := []KeyedEntry(nil)
+	if f.store != nil && !f.cfg.DisableStore {
+		entries = f.store.Export()
+	}
+	p, err := openPersister(f.cfg.StateDir, f.cfg.Fsync, f.cfg.FsyncInterval, f.cfg.SnapshotEvery, f.sched.Export(), entries)
 	if err != nil {
 		f.persist = degradedPersister(f.cfg.StateDir, err)
 		return
 	}
 	f.persist = p
 	f.journal.SetSink(p.appendEvent)
-	entries := []KeyedEntry(nil)
-	if f.store != nil && !f.cfg.DisableStore {
-		entries = f.store.Export()
+}
+
+// commitPersist publishes the staged journal over the previous epoch's.
+// Recover calls it only after re-admitting the old journal's pending
+// sessions, so their "queued" records are inside the file before it takes
+// the journal's name.
+func (f *Fleet) commitPersist() {
+	if f.persist != nil {
+		f.persist.commitJournal()
 	}
-	p.writeSnapshot(p.watermark(), f.sched.Export(), entries)
 }
 
 // startWorkers brings the dispatch pool up.
@@ -608,19 +640,24 @@ func (f *Fleet) Close() {
 
 // maybePersistSnapshot writes a fresh snapshot if enough store commits
 // accumulated since the last one. Called between sessions, outside both
-// the fleet and journal locks.
+// the fleet and journal locks; claimSnapshot grants the threshold
+// crossing to exactly one worker.
 func (f *Fleet) maybePersistSnapshot() {
-	if f.persist == nil || !f.persist.snapshotDue() {
+	if f.persist == nil || !f.persist.claimSnapshot() {
 		return
 	}
 	f.persistSnapshot()
 }
 
-// persistSnapshot captures and writes a snapshot. The watermark is read
-// BEFORE the store export: store mutations precede their journal events,
-// so the export folds in every event up to the watermark and replaying
-// anything newer on top of it is idempotent.
+// persistSnapshot captures and writes a snapshot, one at a time (snapMu):
+// unserialized writers would share WriteAtomic's temp file and could
+// rename a torn snapshot into place. The watermark is read BEFORE the
+// store export: store mutations precede their journal events, so the
+// export folds in every event up to the watermark and replaying anything
+// newer on top of it is idempotent.
 func (f *Fleet) persistSnapshot() {
+	f.snapMu.Lock()
+	defer f.snapMu.Unlock()
 	w := f.persist.watermark()
 	f.mu.Lock()
 	sched := f.sched.Export()

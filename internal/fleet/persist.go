@@ -25,10 +25,13 @@ import (
 	"rpg2/internal/wal"
 )
 
-// State-dir file names: the event WAL and the store+scheduler snapshot.
+// State-dir file names: the event WAL, the store+scheduler snapshot, and
+// the staged journal a fresh epoch appends to until commitJournal
+// atomically renames it over journalFile.
 const (
-	journalFile  = "journal.wal"
-	snapshotFile = "snapshot.wal"
+	journalFile      = "journal.wal"
+	snapshotFile     = "snapshot.wal"
+	journalStageFile = "journal.next"
 )
 
 // SpecRecord is the JSON-safe projection of a SessionSpec the WAL
@@ -120,13 +123,21 @@ type persister struct {
 	closed    bool
 }
 
-// openPersister starts epoch state under dir: it reads the previous
-// epoch number from whatever state files exist, bumps it, truncates the
-// journal WAL, and stamps the epoch record. The caller writes the initial
-// snapshot (it owns the store and scheduler). A nil persister with a nil
-// error means persistence is disabled; a non-nil error means the state
-// dir is unusable and the fleet should degrade from birth.
-func openPersister(dir string, fsync wal.SyncMode, interval, snapEvery int) (*persister, error) {
+// openPersister starts epoch state under dir, ordered so that every
+// crash instant leaves a recoverable pairing. It reads the previous
+// epoch number from whatever state files exist, bumps it, atomically
+// writes the fresh epoch's snapshot (carrying the caller's store and
+// scheduler state) while the old journal is still untouched, and then
+// opens a *staged* journal at journalStageFile stamped with the epoch
+// record. Events append to the staged journal until commitJournal
+// renames it over journalFile; until that rename, recovery reads the new
+// snapshot over the old journal (readState's snapshot-ahead branch), so
+// neither rolled-forward store commits nor pending sessions are ever
+// orphaned behind a stale snapshot. The reverse order — truncate the
+// journal, then snapshot — would let a crash between the two lose both.
+// An error means the state dir is unusable (nothing was destroyed) and
+// the fleet should degrade from birth.
+func openPersister(dir string, fsync wal.SyncMode, interval, snapEvery int, sched admission.PersistState, entries []KeyedEntry) (*persister, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -134,22 +145,58 @@ func openPersister(dir string, fsync wal.SyncMode, interval, snapEvery int) (*pe
 		snapEvery = 8
 	}
 	epoch := prevEpoch(dir) + 1
-	// A fresh epoch starts a fresh journal: everything before it lives in
-	// the initial snapshot the fleet writes right after this.
-	if err := os.Remove(filepath.Join(dir, journalFile)); err != nil && !os.IsNotExist(err) {
-		return nil, err
-	}
-	log, _, err := wal.Open(filepath.Join(dir, journalFile), wal.Config{Sync: fsync, Interval: interval})
+	payloads, err := snapshotPayloads(epoch, -1, sched, entries)
 	if err != nil {
 		return nil, err
 	}
-	p := &persister{dir: dir, epoch: epoch, snapEvery: snapEvery, log: log, lastSeq: -1}
+	if err := wal.WriteAtomic(filepath.Join(dir, snapshotFile), payloads); err != nil {
+		return nil, err
+	}
+	// Stage the fresh journal beside the old one; a stale stage file is a
+	// previous epoch start that died before committing, superseded now.
+	staged := filepath.Join(dir, journalStageFile)
+	if err := os.Remove(staged); err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	log, _, err := wal.Open(staged, wal.Config{Sync: fsync, Interval: interval})
+	if err != nil {
+		return nil, err
+	}
+	p := &persister{dir: dir, epoch: epoch, snapEvery: snapEvery, log: log, lastSeq: -1, snapshots: 1}
 	meta, _ := json.Marshal(walMeta{Wal: "journal", Epoch: epoch})
 	if err := log.Append(meta); err != nil {
 		log.Abort()
 		return nil, err
 	}
 	return p, nil
+}
+
+// commitJournal publishes the staged journal: flush it, then atomically
+// rename it over journalFile. The open log keeps appending to the same
+// inode — only the name changes. Everything appended before the commit
+// (the epoch record, Recover's re-admitted "queued" events) is already
+// inside the file when it takes the journal's name, so a pending session
+// is vouched for by the old journal up to the rename and by the new one
+// from the rename on, with no gap.
+func (p *persister) commitJournal() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.degraded || p.closed {
+		return
+	}
+	if err := p.log.Sync(); err != nil {
+		p.failLocked(err)
+		return
+	}
+	if err := os.Rename(filepath.Join(p.dir, journalStageFile), filepath.Join(p.dir, journalFile)); err != nil {
+		p.failLocked(err)
+		return
+	}
+	// Best effort: persist the rename itself.
+	if d, err := os.Open(p.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
 }
 
 // prevEpoch finds the newest epoch recorded in dir's state files (0 when
@@ -192,12 +239,20 @@ func (p *persister) appendEvent(e Event) {
 	}
 }
 
-// snapshotDue reports whether enough store commits accumulated to justify
-// a fresh snapshot.
-func (p *persister) snapshotDue() bool {
+// claimSnapshot reports whether enough store commits accumulated to
+// justify a fresh snapshot and, when they have, claims the work by
+// resetting the counter under the lock — workers racing across the same
+// threshold get exactly one true, so exactly one of them snapshots. A
+// claimed snapshot that then fails to write degrades the persister, so
+// the claim never needs restoring.
+func (p *persister) claimSnapshot() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return !p.degraded && !p.closed && p.commits >= p.snapEvery
+	if p.degraded || p.closed || p.commits < p.snapEvery {
+		return false
+	}
+	p.commits = 0
+	return true
 }
 
 // watermark is the highest event Seq known to be in the WAL. Capture it
@@ -210,27 +265,37 @@ func (p *persister) watermark() int {
 	return p.lastSeq
 }
 
-// writeSnapshot atomically replaces the snapshot file with the given
-// state, covering journal events up to seq.
-func (p *persister) writeSnapshot(seq int, sched admission.PersistState, entries []KeyedEntry) {
+// snapshotPayloads frames a snapshot file's records: meta, scheduler
+// state, store entries.
+func snapshotPayloads(epoch, seq int, sched admission.PersistState, entries []KeyedEntry) ([][]byte, error) {
 	payloads := make([][]byte, 0, len(entries)+2)
-	meta, _ := json.Marshal(walMeta{Wal: "snapshot", Epoch: p.epoch, Seq: seq})
+	meta, _ := json.Marshal(walMeta{Wal: "snapshot", Epoch: epoch, Seq: seq})
 	payloads = append(payloads, meta)
 	sc, err := json.Marshal(walSched{Sched: &sched})
 	if err != nil {
-		p.fail(fmt.Errorf("encode scheduler state: %w", err))
-		return
+		return nil, fmt.Errorf("encode scheduler state: %w", err)
 	}
 	payloads = append(payloads, sc)
 	for _, ke := range entries {
 		b, err := json.Marshal(ke)
 		if err != nil {
-			p.fail(fmt.Errorf("encode store entry: %w", err))
-			return
+			return nil, fmt.Errorf("encode store entry: %w", err)
 		}
 		payloads = append(payloads, b)
 	}
+	return payloads, nil
+}
 
+// writeSnapshot atomically replaces the snapshot file with the given
+// state, covering journal events up to seq. Callers serialize: the fleet
+// holds its snapshot mutex across capture and write, so two WriteAtomic
+// calls never share the snapshot's temp file.
+func (p *persister) writeSnapshot(seq int, sched admission.PersistState, entries []KeyedEntry) {
+	payloads, err := snapshotPayloads(p.epoch, seq, sched, entries)
+	if err != nil {
+		p.fail(err)
+		return
+	}
 	p.mu.Lock()
 	if p.degraded || p.closed {
 		p.mu.Unlock()
@@ -245,7 +310,6 @@ func (p *persister) writeSnapshot(seq int, sched admission.PersistState, entries
 		return
 	}
 	p.snapshots++
-	p.commits = 0
 }
 
 // fail flips the persister into degraded in-memory mode.

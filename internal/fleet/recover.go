@@ -18,10 +18,14 @@
 //     and breaker states import from the snapshot, then breaker edges
 //     journaled after the watermark roll forward coarsely.
 //
-// Recovery starts a fresh epoch: the rebuilt state is written as a new
-// snapshot first, then the journal is truncated — whichever file an
-// interrupted recovery leaves newer, a later recovery reads a consistent
-// pairing.
+// Recovery starts a fresh epoch in an order that keeps every crash
+// instant recoverable: the rebuilt state is written as a new snapshot
+// first (old journal untouched), the pending sessions are re-admitted so
+// their "queued" records land in a staged journal, and only then is the
+// staged journal atomically renamed over the old one. An interrupted
+// recovery therefore leaves either the old journal (pending sessions
+// still in it) or the new journal (pending sessions re-journaled) under
+// the new snapshot — both pairings readState reads consistently.
 package fleet
 
 import (
@@ -125,6 +129,9 @@ func Recover(stateDir string, cfg Config) (*Fleet, *Recovery, error) {
 		return nil, nil, fmt.Errorf("fleet: state dir unreadable: %w", err)
 	}
 	cfg.StateDir = stateDir
+	// Recovery consumes the old state: everything the journal holds is
+	// re-admitted below, so the fresh epoch may replace the old files.
+	cfg.Overwrite = true
 	st, err := readState(stateDir)
 	if err != nil {
 		return nil, nil, err
@@ -154,8 +161,12 @@ func Recover(stateDir string, cfg Config) (*Fleet, *Recovery, error) {
 	if f.persist != nil {
 		st.rec.Epoch = f.persist.epoch
 	}
-	f.startWorkers()
 
+	// Re-admit BEFORE publishing the staged journal and starting workers:
+	// the re-admissions' "queued" records (specs included) append to the
+	// staged file, so when commitPersist renames it into place the new
+	// journal already vouches for every pending session — and until that
+	// rename, the old journal still does. No crash instant loses one.
 	for _, ps := range st.pending {
 		s := f.submitRecovered(ps.spec, ps.attempt)
 		st.rec.Requeued = append(st.rec.Requeued, s)
@@ -165,7 +176,21 @@ func Recover(stateDir string, cfg Config) (*Fleet, *Recovery, error) {
 			st.rec.RequeuedWaiting++
 		}
 	}
+	f.commitPersist()
+	f.startWorkers()
 	return f, st.rec, nil
+}
+
+// PendingSessions reports how many sessions in stateDir's journal never
+// reached a terminal record — the work Recover would re-admit and a fresh
+// epoch would discard. A missing, empty, or unreadable state dir reports
+// zero.
+func PendingSessions(stateDir string) int {
+	st, err := readState(stateDir)
+	if err != nil {
+		return 0
+	}
+	return len(st.pending)
 }
 
 // readState salvages the snapshot and journal and distils the recovered

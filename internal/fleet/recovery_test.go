@@ -11,9 +11,12 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"rpg2/internal/admission"
 	"rpg2/internal/machine"
 	"rpg2/internal/wal"
 )
@@ -252,27 +255,10 @@ func TestCleanCloseRecover(t *testing.T) {
 // TestRecoverCancelledSessionsResume: sessions a SIGINT drain cancelled
 // (ErrCanceled) are interrupted, not finished — resume re-admits them.
 func TestRecoverCancelledSessionsResume(t *testing.T) {
-	dir := t.TempDir()
-	f := New(Config{Machine: machine.CascadeLake(), Workers: 1, StateDir: dir})
 	// One session runs; the rest are parked behind the single worker and
 	// then cancelled, mimicking an interrupted run's drain.
-	var specs []SessionSpec
-	for i := 0; i < 6; i++ {
-		spec := crashPairs[i%len(crashPairs)]
-		spec.Seed = int64(i + 1)
-		specs = append(specs, spec)
-	}
-	for _, spec := range specs {
-		if _, err := f.Submit(spec); err != nil {
-			t.Fatal(err)
-		}
-	}
-	cancelled := f.CancelQueued()
-	f.Drain()
-	f.Close()
-	if cancelled == 0 {
-		t.Skip("every session dispatched before the cancel; nothing to assert")
-	}
+	dir := t.TempDir()
+	cancelled := interruptedStateDir(t, dir)
 
 	f2, rec, err := Recover(dir, Config{Machine: machine.CascadeLake(), Workers: 2})
 	if err != nil {
@@ -287,6 +273,172 @@ func TestRecoverCancelledSessionsResume(t *testing.T) {
 		if !s.State().Terminal() || s.State() == Failed {
 			t.Fatalf("resumed session %d state = %v (err %v)", s.ID, s.State(), s.Err())
 		}
+	}
+}
+
+// interruptedStateDir builds a state dir holding an interrupted run: one
+// worker, several sessions, a SIGINT-style cancel, clean close. It returns
+// how many sessions were cancelled (skipping the test when none were).
+func interruptedStateDir(t *testing.T, dir string) int {
+	t.Helper()
+	f := New(Config{Machine: machine.CascadeLake(), Workers: 1, StateDir: dir})
+	for i := 0; i < 6; i++ {
+		spec := crashPairs[i%len(crashPairs)]
+		spec.Seed = int64(i + 1)
+		if _, err := f.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cancelled := f.CancelQueued()
+	f.Drain()
+	f.Close()
+	if cancelled == 0 {
+		t.Skip("every session dispatched before the cancel; nothing pending")
+	}
+	return cancelled
+}
+
+// TestNewRefusesToClobberInterruptedStateDir: New over a state dir whose
+// journal still holds unfinished sessions must not destroy them — the
+// fleet degrades (surfacing why), the files stay byte-identical, and the
+// dir remains recoverable. Config.Overwrite is the explicit opt-out.
+func TestNewRefusesToClobberInterruptedStateDir(t *testing.T) {
+	dir := t.TempDir()
+	cancelled := interruptedStateDir(t, dir)
+	if got := PendingSessions(dir); got != cancelled {
+		t.Fatalf("PendingSessions = %d, want %d", got, cancelled)
+	}
+	before, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := New(Config{Machine: machine.CascadeLake(), Workers: 1, StateDir: dir})
+	s, err := f.Submit(SessionSpec{Bench: "is", Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Drain()
+	if !s.State().Terminal() || s.State() == Failed {
+		t.Fatalf("session under refused persistence: %v (err %v)", s.State(), s.Err())
+	}
+	snap := f.Snapshot()
+	if snap.Persistence != "degraded" || !strings.Contains(snap.PersistenceError, "interrupted run") {
+		t.Fatalf("snapshot = %q / %q, want degraded with refusal", snap.Persistence, snap.PersistenceError)
+	}
+	f.Close()
+
+	after, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("refusing New still modified the journal")
+	}
+	if got := PendingSessions(dir); got != cancelled {
+		t.Fatalf("dir no longer recoverable: PendingSessions = %d, want %d", got, cancelled)
+	}
+
+	// The explicit opt-out discards the interrupted run and persists anew.
+	f2 := New(Config{Machine: machine.CascadeLake(), Workers: 1, StateDir: dir, Overwrite: true})
+	if snap := f2.Snapshot(); snap.Persistence != "active" {
+		t.Fatalf("Overwrite fleet persistence = %q", snap.Persistence)
+	}
+	f2.Close()
+	if got := PendingSessions(dir); got != 0 {
+		t.Fatalf("overwritten dir still reports %d pending sessions", got)
+	}
+}
+
+// TestRecoverSurvivesInterruptedRecovery: a recovery that dies after
+// staging the fresh epoch (snapshot written, staged journal never
+// published) leaves the new snapshot over the OLD journal. A later
+// recovery must read that pairing consistently: store entries from the
+// snapshot, pending sessions from the journal — nothing lost.
+func TestRecoverSurvivesInterruptedRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cancelled := interruptedStateDir(t, dir)
+	wantKeys, _, _ := journalLedger(t, dir)
+
+	// Run the real epoch-staging path (what Recover does before workers
+	// start) and abandon it mid-way, exactly as a crash would.
+	st, err := readState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Machine: machine.CascadeLake(), Workers: 1, StateDir: dir, Overwrite: true}
+	half := newFleet(cfg)
+	var entries []KeyedEntry
+	for _, k := range st.order {
+		if e, ok := st.entries[k]; ok {
+			entries = append(entries, KeyedEntry{Key: k, Entry: e})
+		}
+	}
+	half.store.Restore(entries)
+	if st.sched != nil {
+		half.sched.Import(*st.sched)
+	}
+	half.initPersist()
+	if half.persist == nil || half.persist.log == nil {
+		t.Fatalf("staging did not open a journal (persist %+v)", half.persist)
+	}
+	prevEpoch := half.persist.epoch
+	half.persist.log.Abort() // the crash: staged journal never commits
+
+	// The old journal still names the pending work.
+	if got := PendingSessions(dir); got != cancelled {
+		t.Fatalf("after interrupted recovery PendingSessions = %d, want %d", got, cancelled)
+	}
+
+	f, rec, err := Recover(dir, Config{Machine: machine.CascadeLake(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if len(rec.Requeued) != cancelled {
+		t.Fatalf("requeued %d sessions, want %d", len(rec.Requeued), cancelled)
+	}
+	if rec.StoreEntries != len(wantKeys) {
+		t.Fatalf("recovered %d store entries, want %d", rec.StoreEntries, len(wantKeys))
+	}
+	if rec.PrevEpoch != prevEpoch || rec.Epoch != prevEpoch+1 {
+		t.Fatalf("epochs %d -> %d, want %d -> %d", rec.PrevEpoch, rec.Epoch, prevEpoch, prevEpoch+1)
+	}
+	f.Drain()
+	for _, s := range rec.Requeued {
+		if !s.State().Terminal() || s.State() == Failed {
+			t.Fatalf("requeued session %d state = %v (err %v)", s.ID, s.State(), s.Err())
+		}
+	}
+}
+
+// TestClaimSnapshotSingleWinner: workers racing across the same
+// store-commit threshold get exactly one snapshot claim.
+func TestClaimSnapshotSingleWinner(t *testing.T) {
+	dir := t.TempDir()
+	p, err := openPersister(dir, wal.SyncOnClose, 0, 4, admission.PersistState{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.close()
+	p.mu.Lock()
+	p.commits = 4
+	p.mu.Unlock()
+
+	var wg sync.WaitGroup
+	var wins int32
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if p.claimSnapshot() {
+				atomic.AddInt32(&wins, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if wins != 1 {
+		t.Fatalf("threshold crossing claimed %d times, want 1", wins)
 	}
 }
 

@@ -302,6 +302,12 @@ func RecoverFleet(stateDir string, cfg FleetConfig) (*Fleet, *FleetRecovery, err
 	return fleet.Recover(stateDir, cfg)
 }
 
+// FleetPendingSessions reports how many sessions a fleet state dir's
+// journal left unfinished — the work RecoverFleet would re-admit, and
+// what NewFleet refuses to discard unless FleetConfig.Overwrite is set.
+// A missing or empty state dir reports zero.
+func FleetPendingSessions(stateDir string) int { return fleet.PendingSessions(stateDir) }
+
 // FaultStage names an injection boundary inside the controller:
 // "profile" (sample collection), "rewrite" (the BOLT pass), or "osr"
 // (runtime code insertion / on-stack replacement).
