@@ -273,6 +273,34 @@ func BenchmarkTable3SensitivityTypes(b *testing.B) {
 	}
 }
 
+// BenchmarkTableTransplant runs the cross-machine transplant study on a
+// benchmark subset: the translated tier must tune with fewer measurement
+// windows than a cold search on every comparable cell.
+func BenchmarkTableTransplant(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := runner().TableTransplant([]string{"pr", "is"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			emit(b, res.Render)
+			coldW, transW, n := 0.0, 0.0, 0
+			for _, row := range res.Rows {
+				if !row.Comparable {
+					continue
+				}
+				coldW += row.Cold.Windows
+				transW += row.Translated.Windows
+				n++
+			}
+			if n > 0 {
+				b.ReportMetric(coldW/float64(n), "cold-windows")
+				b.ReportMetric(transW/float64(n), "translated-windows")
+			}
+		}
+	}
+}
+
 // ---- Ablations of design choices (DESIGN.md §4) ------------------------
 
 // BenchmarkAblationMetricMPKI contrasts tuning on IPC-style work rate vs

@@ -9,6 +9,7 @@
 //	rpg2-experiments -fig 7            # one figure
 //	rpg2-experiments -table 3 -quick   # one table at reduced scale
 //	rpg2-experiments -smoke -fig 7 -bench pr,is -journal run.ndjson -metrics -
+//	rpg2-experiments -smoke -translate -bench pr   # cross-machine transplant study
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "fleet worker pool size (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 0, "override the root seed (default per configuration)")
 	warm := flag.Bool("warm", false, "let Figure 7's RPG² trials warm-start from the profile store")
+	translate := flag.Bool("translate", false, "run the cross-machine transplant study (cold vs warm vs translated seeding)")
 	benches := flag.String("bench", "", "comma-separated benchmark subset for figures 7/8 and table 3")
 	journal := flag.String("journal", "", "write the fleet event journal as JSON lines to this file (- for stdout)")
 	metrics := flag.String("metrics", "", "write the fleet metrics snapshot as JSON to this file (- for stdout)")
@@ -67,7 +69,7 @@ func main() {
 	r := rpg2.NewExperiments(opts)
 	defer r.Close()
 
-	err := run(r, *fig, *table, *all, benchList)
+	err := run(r, *fig, *table, *all, *translate, benchList)
 	if err == nil {
 		err = dump(r, *journal, *metrics)
 	}
@@ -112,9 +114,18 @@ func dump(r *rpg2.Experiments, journal, metrics string) error {
 	return nil
 }
 
-func run(r *rpg2.Experiments, fig, table int, all bool, benches []string) error {
+func run(r *rpg2.Experiments, fig, table int, all, translate bool, benches []string) error {
 	out := os.Stdout
 	did := false
+	runTransplant := func() error {
+		did = true
+		res, err := r.TableTransplant(benches)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+		return nil
+	}
 	runFig := func(n int) error {
 		did = true
 		switch n {
@@ -221,7 +232,7 @@ func run(r *rpg2.Experiments, fig, table int, all bool, benches []string) error 
 				return fmt.Errorf("figure %d: %w", n, err)
 			}
 		}
-		return nil
+		return runTransplant()
 	}
 	if fig != 0 {
 		if err := runFig(fig); err != nil {
@@ -230,6 +241,11 @@ func run(r *rpg2.Experiments, fig, table int, all bool, benches []string) error 
 	}
 	if table != 0 {
 		if err := runTable(table); err != nil {
+			return err
+		}
+	}
+	if translate {
+		if err := runTransplant(); err != nil {
 			return err
 		}
 	}

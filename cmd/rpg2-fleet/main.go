@@ -43,16 +43,17 @@ import (
 
 // options carries every CLI flag into run.
 type options struct {
-	machine  string
-	sessions int
-	workers  int
-	seconds  float64
-	seed     int64
-	benches  string
-	pairs    int
-	journal  bool
-	metrics  string
-	nostore  bool
+	machine   string
+	sessions  int
+	workers   int
+	seconds   float64
+	seed      int64
+	benches   string
+	pairs     int
+	journal   bool
+	metrics   string
+	nostore   bool
+	translate bool
 
 	// Admission & resilience knobs.
 	faults    float64
@@ -80,6 +81,7 @@ func main() {
 	flag.BoolVar(&o.journal, "journal", false, "dump the event journal as JSON lines after the snapshot")
 	flag.StringVar(&o.metrics, "metrics", "", "also write the metrics snapshot as JSON to this file (- for stdout)")
 	flag.BoolVar(&o.nostore, "no-store", false, "disable the profile store (every session cold)")
+	flag.BoolVar(&o.translate, "translate", false, "on a store miss, seed from a sibling machine's profile with a latency-scaled distance")
 	flag.Float64Var(&o.faults, "faults", 0, "deterministic fault-injection rate per controller stage (0 = off)")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault injector seed")
 	flag.IntVar(&o.retries, "retries", 0, "retry budget for failed/rolled-back sessions (0 = no retry lane)")
@@ -170,6 +172,7 @@ func run(o options) error {
 		Workers:          o.workers,
 		RunSeconds:       o.seconds,
 		DisableStore:     o.nostore,
+		Translate:        o.translate,
 		Quota:            o.quota,
 		MaxRetries:       o.retries,
 		BreakerThreshold: o.breaker,

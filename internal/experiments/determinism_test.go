@@ -72,6 +72,38 @@ func TestFig7DeterministicAcrossWorkersAndCache(t *testing.T) {
 	}
 }
 
+// The transplant study mixes all three seeding tiers (cold, warm, and
+// cross-machine translated) plus static re-measurements across two
+// machines; its rendered output must still be byte-identical regardless of
+// how many fleet workers execute the cells.
+func TestTransplantDeterministicAcrossWorkers(t *testing.T) {
+	render := func(par int) string {
+		o := experiments.SmokeOptions()
+		o.Parallelism = par
+		r := experiments.NewRunner(o)
+		defer r.Close()
+		res, err := r.TableTransplant([]string{"pr"})
+		if err != nil {
+			t.Fatalf("TableTransplant: %v", err)
+		}
+		var sb strings.Builder
+		res.Render(&sb)
+		return sb.String()
+	}
+	want := render(1)
+	if !strings.Contains(want, "Transplant study") || !strings.Contains(want, "summary:") {
+		t.Fatalf("render produced no study:\n%s", want)
+	}
+	// The study must actually exercise the translated tier, not silently
+	// fall back to cold cells.
+	if !strings.Contains(want, "->") {
+		t.Fatalf("no cell carries a translated seed:\n%s", want)
+	}
+	if got := render(8); got != want {
+		t.Errorf("Parallelism=8 render differs from Parallelism=1:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+	}
+}
+
 // With WarmStart the measured RPG² trials may seed from the frozen profile
 // store; the pipeline must still complete and stay deterministic run to run.
 func TestFig7WarmStartDeterministic(t *testing.T) {

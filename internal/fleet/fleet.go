@@ -196,6 +196,7 @@ type Session struct {
 	machineName string
 	state       State
 	warm        bool
+	translated  bool
 	attempt     int
 	report      *rpgcore.Report
 	meas        *rpgcore.Measurement
@@ -227,6 +228,15 @@ func (s *Session) Warm() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.warm
+}
+
+// Translated reports whether the session was seeded from a sibling
+// machine's profile through the translation layer (never true together
+// with Warm).
+func (s *Session) Translated() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.translated
 }
 
 // Report returns the controller's report (nil until terminal or on failure
@@ -335,6 +345,15 @@ type Config struct {
 	// regression, versus the rate the store entry promised, beyond which
 	// a warm session invalidates the entry (default 0.25).
 	RegressTolerance float64
+	// Translate enables the cross-machine seeding tier: a session whose
+	// store lookup misses may warm-start from a sibling entry for the same
+	// (bench, input) on another machine, reusing the sibling's candidate
+	// sites with its distance scaled by the machines' effective
+	// memory-latency ratio (TranslateDistance). Translated sessions search
+	// with the cold ±5 span and skip the warm fast-path accept. Off by
+	// default: translation adds journal events, and existing runs'
+	// byte-determinism must hold.
+	Translate bool
 
 	// --- Admission & resilience knobs (internal/admission). The zero
 	// value of every knob reproduces the original FIFO fleet exactly. ---
@@ -992,35 +1011,98 @@ func (f *Fleet) runOptimize(s *Session, started time.Time, m machine.Machine) {
 	cold := s.Spec.Cold || f.cfg.DisableStore || attempt > 0
 	var seed Entry
 	var seedGen uint64
+	var seedKey Key
 	warm := false
-	if !cold {
+	translated := false
+	if cold {
+		// A bypassed store is still demand on the store: journal why this
+		// session never asked, so snapshot accounting sees every optimize
+		// attempt make exactly one store disposition.
+		reason := "cold"
+		switch {
+		case attempt > 0:
+			reason = "retry"
+		case f.cfg.DisableStore:
+			reason = "disabled"
+		}
+		f.metrics.bypass(reason)
+		f.journal.add(Event{
+			Session: s.ID, Type: "store-bypass", Reason: reason,
+			Bench: s.Spec.Bench, Input: s.Spec.Input, Machine: m.Name,
+			Attempt: attempt,
+		})
+	} else {
 		if e, gen, ok := f.store.Lookup(key); ok {
-			warm, seed, seedGen = true, e, gen
+			warm, seed, seedGen, seedKey = true, e, gen, key
 			cfg.SeedFunc = e.Func
 			cfg.SeedCandidates = e.Candidates
 			cfg.SeedDistance = e.Distance
 			cfg.ProfileSeconds = f.cfg.WarmProfileSeconds
+		} else if f.cfg.Translate {
+			// Third tier: no profile for this machine, but a sibling
+			// machine's profile for the same workload can seed a
+			// hypothesis — its candidates as-is, its distance scaled by
+			// the memory-latency ratio. The search validates the
+			// hypothesis with the full cold span (Config.SeedTranslated).
+			if e, src, gen, ok := f.store.LookupTranslated(key); ok {
+				if sm, known := machine.ByName(src.Machine); !known {
+					// A sibling from a machine this build cannot model
+					// (e.g. a foreign snapshot) is unusable: return the
+					// reuse charge and fall through to a cold start.
+					f.store.Refund(src, gen)
+				} else {
+					translated = true
+					seed, seedGen, seedKey = e, gen, src
+					cfg.SeedFunc = e.Func
+					cfg.SeedCandidates = e.Candidates
+					cfg.SeedDistance = TranslateDistance(sm, m, e.Distance,
+						cfg.Defaults().MaxDistance)
+					cfg.SeedTranslated = true
+					cfg.ProfileSeconds = f.cfg.WarmProfileSeconds
+				}
+			}
 		}
-		typ := "store-miss"
-		if warm {
-			typ = "store-hit"
+		switch {
+		case warm:
+			f.journal.add(Event{
+				Session: s.ID, Type: "store-hit", Warm: true,
+				Bench: s.Spec.Bench, Input: s.Spec.Input, Machine: m.Name,
+			})
+		case translated:
+			f.journal.add(Event{
+				Session: s.ID, Type: "store-translated", Translated: true,
+				Bench: s.Spec.Bench, Input: s.Spec.Input, Machine: m.Name,
+				Source: seedKey.Machine, Distance: cfg.SeedDistance,
+			})
+		default:
+			f.journal.add(Event{
+				Session: s.ID, Type: "store-miss",
+				Bench: s.Spec.Bench, Input: s.Spec.Input, Machine: m.Name,
+			})
 		}
-		f.journal.add(Event{
-			Session: s.ID, Type: typ, Warm: warm,
-			Bench: s.Spec.Bench, Input: s.Spec.Input, Machine: m.Name,
-		})
 	}
 	s.mu.Lock()
 	s.warm = warm
+	s.translated = translated
 	s.mu.Unlock()
 
+	// A seeded session that dies before the controller runs consumed the
+	// entry's reuse budget for nothing — refund it, or transient build
+	// failures would stale a good profile.
+	refundSeed := func() {
+		if warm || translated {
+			f.store.Refund(seedKey, seedGen)
+		}
+	}
 	w, err := f.cfg.Builds.Build(s.Spec.Bench, s.Spec.Input, 1<<30)
 	if err != nil {
+		refundSeed()
 		f.failSession(s, started, err)
 		return
 	}
 	sess, err := rpgcore.NewSession(m, w)
 	if err != nil {
+		refundSeed()
 		f.failSession(s, started, err)
 		return
 	}
@@ -1112,12 +1194,19 @@ func (f *Fleet) runOptimize(s *Session, started time.Time, m machine.Machine) {
 		return
 	}
 
-	f.metrics.finish(rep.Outcome.String(), warm, rep.Costs.PDEdits, s.Wall())
+	tier := tierCold
+	switch {
+	case warm:
+		tier = tierWarm
+	case translated:
+		tier = tierTranslated
+	}
+	f.metrics.finish(rep.Outcome.String(), tier, rep.Costs.PDEdits, s.Wall())
 	f.journal.add(Event{
 		Session: s.ID, Type: "session-done", State: final.String(),
 		Kind:  s.Spec.Kind.String(),
 		Bench: s.Spec.Bench, Input: s.Spec.Input, Machine: m.Name,
-		Warm: warm, Report: rep, Attempt: s.Attempt(),
+		Warm: warm, Translated: translated, Report: rep, Attempt: s.Attempt(),
 	})
 }
 

@@ -21,8 +21,9 @@ type Event struct {
 	// Session is the subject session's ID (-1 for fleet-level events).
 	Session int `json:"session"`
 	// Type is the event kind: "queued", "admitted", "state", "store-hit",
-	// "store-miss", "store-commit", "store-invalidate", "retry-scheduled",
-	// "breaker-open", "breaker-closed", "session-done", "session-failed",
+	// "store-miss", "store-translated", "store-bypass", "store-commit",
+	// "store-invalidate", "retry-scheduled", "breaker-open",
+	// "breaker-closed", "session-done", "session-failed",
 	// "session-degraded".
 	Type string `json:"type"`
 	// Bench and Input name the session's workload.
@@ -40,6 +41,17 @@ type Event struct {
 	At float64 `json:"t,omitempty"`
 	// Warm marks sessions that were seeded from the profile store.
 	Warm bool `json:"warm,omitempty"`
+	// Translated marks sessions seeded from a sibling machine's profile
+	// through the translation layer ("store-translated", "session-done").
+	Translated bool `json:"translated,omitempty"`
+	// Source is the sibling machine a "store-translated" seed came from.
+	Source string `json:"source,omitempty"`
+	// Distance is the latency-scaled seed distance of a "store-translated"
+	// event — what the translated session's search starts from.
+	Distance int `json:"distance,omitempty"`
+	// Reason is why a "store-bypass" session skipped the store entirely:
+	// "cold" (Spec.Cold), "retry" (re-profile attempt), or "disabled".
+	Reason string `json:"reason,omitempty"`
 	// Priority is the session's admission priority ("queued", "admitted").
 	Priority int `json:"priority,omitempty"`
 	// Attempt is the retry-lane attempt index the event belongs to

@@ -11,20 +11,33 @@ import (
 	"rpg2/internal/workloads"
 )
 
+// seedTier is how an optimize session was seeded: cold (no profile), warm
+// (this machine's cached profile), or translated (a sibling machine's
+// profile with a latency-scaled distance).
+type seedTier uint8
+
+const (
+	tierCold seedTier = iota
+	tierWarm
+	tierTranslated
+)
+
 // metrics accumulates fleet-wide counters; Snapshot freezes them.
 type metrics struct {
-	mu        sync.Mutex
-	start     time.Time
-	submitted int
-	completed int
-	failed    int
-	degraded  int
-	retries   int
-	outcomes  map[string]int // terminal rpg2 outcome name -> count (optimize jobs)
-	kinds     map[string]int // completed sessions per job kind
-	wallSecs  []float64      // per completed session
-	coldProbe []int          // search probes per cold session that searched
-	warmProbe []int          // search probes per warm session that searched
+	mu         sync.Mutex
+	start      time.Time
+	submitted  int
+	completed  int
+	failed     int
+	degraded   int
+	retries    int
+	outcomes   map[string]int // terminal rpg2 outcome name -> count (optimize jobs)
+	kinds      map[string]int // completed sessions per job kind
+	wallSecs   []float64      // per completed session
+	coldProbe  []int          // search probes per cold session that searched
+	warmProbe  []int          // search probes per warm session that searched
+	transProbe []int          // search probes per translated session that searched
+	bypasses   map[string]int // store-bypass reason -> count
 }
 
 func newMetrics() *metrics {
@@ -32,6 +45,7 @@ func newMetrics() *metrics {
 		start:    time.Now(),
 		outcomes: make(map[string]int),
 		kinds:    make(map[string]int),
+		bypasses: make(map[string]int),
 	}
 }
 
@@ -41,7 +55,14 @@ func (m *metrics) submit() {
 	m.submitted++
 }
 
-func (m *metrics) finish(outcome string, warm bool, probes int, wall time.Duration) {
+// bypass records an optimize attempt that skipped the store entirely.
+func (m *metrics) bypass(reason string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.bypasses[reason]++
+}
+
+func (m *metrics) finish(outcome string, tier seedTier, probes int, wall time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.completed++
@@ -49,9 +70,12 @@ func (m *metrics) finish(outcome string, warm bool, probes int, wall time.Durati
 	m.kinds[OptimizeJob.String()]++
 	m.wallSecs = append(m.wallSecs, wall.Seconds())
 	if probes > 0 {
-		if warm {
+		switch tier {
+		case tierWarm:
 			m.warmProbe = append(m.warmProbe, probes)
-		} else {
+		case tierTranslated:
+			m.transProbe = append(m.transProbe, probes)
+		default:
 			m.coldProbe = append(m.coldProbe, probes)
 		}
 	}
@@ -161,11 +185,19 @@ type Snapshot struct {
 	BuildHits       int64 `json:"build_hits"`
 
 	// Search cost split by temperature: mean distance probes per session
-	// that ran a search.
-	ColdSessions   int     `json:"cold_sessions"`
-	WarmSessions   int     `json:"warm_sessions"`
-	ColdProbesMean float64 `json:"cold_probes_mean"`
-	WarmProbesMean float64 `json:"warm_probes_mean"`
+	// that ran a search. Translated sessions — seeded from a sibling
+	// machine's profile — are a third tier between warm and cold.
+	ColdSessions         int     `json:"cold_sessions"`
+	WarmSessions         int     `json:"warm_sessions"`
+	TranslatedSessions   int     `json:"translated_sessions"`
+	ColdProbesMean       float64 `json:"cold_probes_mean"`
+	WarmProbesMean       float64 `json:"warm_probes_mean"`
+	TranslatedProbesMean float64 `json:"translated_probes_mean"`
+
+	// StoreBypasses counts optimize attempts that skipped the store
+	// entirely, by reason ("cold", "retry", "disabled") — the demand the
+	// hit rate never sees. Empty (and omitted) when every attempt asked.
+	StoreBypasses map[string]int `json:"store_bypasses,omitempty"`
 }
 
 func percentile(sorted []float64, q float64) float64 {
@@ -192,27 +224,35 @@ func (m *metrics) snapshot(store *Store, builds *workloads.BuildCache, workers, 
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
-		Workers:         workers,
-		Submitted:       m.submitted,
-		Completed:       m.completed,
-		Failed:          m.failed,
-		Degraded:        m.degraded,
-		QueuePeak:       queuePeak,
-		Retries:         sched.Retries,
-		BackoffWaitSecs: sched.BackoffWait,
-		QuotaStalls:     sched.QuotaStalls,
-		BreakerTrips:    sched.BreakerTrips,
-		BreakersOpen:    breakersOpen,
-		Breakers:        breakers,
-		VirtualClock:    sched.Clock,
-		Tuned:           m.outcomes["tuned"],
-		RolledBack:      m.outcomes["rolled-back"],
-		NotActivated:    m.outcomes["not-activated"],
-		TargetExited:    m.outcomes["target-exited"],
-		ColdSessions:    len(m.coldProbe),
-		WarmSessions:    len(m.warmProbe),
-		ColdProbesMean:  meanInt(m.coldProbe),
-		WarmProbesMean:  meanInt(m.warmProbe),
+		Workers:              workers,
+		Submitted:            m.submitted,
+		Completed:            m.completed,
+		Failed:               m.failed,
+		Degraded:             m.degraded,
+		QueuePeak:            queuePeak,
+		Retries:              sched.Retries,
+		BackoffWaitSecs:      sched.BackoffWait,
+		QuotaStalls:          sched.QuotaStalls,
+		BreakerTrips:         sched.BreakerTrips,
+		BreakersOpen:         breakersOpen,
+		Breakers:             breakers,
+		VirtualClock:         sched.Clock,
+		Tuned:                m.outcomes["tuned"],
+		RolledBack:           m.outcomes["rolled-back"],
+		NotActivated:         m.outcomes["not-activated"],
+		TargetExited:         m.outcomes["target-exited"],
+		ColdSessions:         len(m.coldProbe),
+		WarmSessions:         len(m.warmProbe),
+		TranslatedSessions:   len(m.transProbe),
+		ColdProbesMean:       meanInt(m.coldProbe),
+		WarmProbesMean:       meanInt(m.warmProbe),
+		TranslatedProbesMean: meanInt(m.transProbe),
+	}
+	if len(m.bypasses) > 0 {
+		s.StoreBypasses = make(map[string]int, len(m.bypasses))
+		for k, n := range m.bypasses {
+			s.StoreBypasses[k] = n
+		}
 	}
 	if len(m.kinds) > 0 {
 		s.Kinds = make(map[string]int, len(m.kinds))
@@ -279,10 +319,30 @@ func (s Snapshot) Render() string {
 	fmt.Fprintf(&b, "  profile store  %d hits, %d misses (hit rate %.1f%%), %d stale, %d invalidated, %d commits, %d live\n",
 		s.Store.Hits, s.Store.Misses, 100*s.StoreHitRate,
 		s.Store.Stale, s.Store.Invalidations, s.Store.Commits, s.StoreEntries)
+	if s.Store.Translations > 0 || s.Store.Refunds > 0 {
+		fmt.Fprintf(&b, "  store extras   %d cross-machine translations, %d refunds\n",
+			s.Store.Translations, s.Store.Refunds)
+	}
+	if len(s.StoreBypasses) > 0 {
+		reasons := make([]string, 0, len(s.StoreBypasses))
+		for r := range s.StoreBypasses {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		parts := make([]string, len(reasons))
+		for i, r := range reasons {
+			parts[i] = fmt.Sprintf("%d %s", s.StoreBypasses[r], r)
+		}
+		fmt.Fprintf(&b, "  store bypasses %s\n", strings.Join(parts, ", "))
+	}
 	fmt.Fprintf(&b, "  workload cache %d graph builds, %d cache hits\n",
 		s.BuildConstructs, s.BuildHits)
 	fmt.Fprintf(&b, "  search probes  cold %.1f mean over %d sessions, warm %.1f mean over %d sessions\n",
 		s.ColdProbesMean, s.ColdSessions, s.WarmProbesMean, s.WarmSessions)
+	if s.TranslatedSessions > 0 {
+		fmt.Fprintf(&b, "  translated     %.1f mean probes over %d cross-machine seeded sessions\n",
+			s.TranslatedProbesMean, s.TranslatedSessions)
+	}
 	fmt.Fprintf(&b, "  scheduling     %d workers, peak queue depth %d\n",
 		s.Workers, s.QueuePeak)
 	fmt.Fprintf(&b, "  resilience     %d retries (%.1fs backoff), %d quota stalls, %d breaker trips (%d open)\n",

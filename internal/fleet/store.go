@@ -56,6 +56,13 @@ type StoreCounters struct {
 	Stale         uint64 `json:"stale"`
 	Invalidations uint64 `json:"invalidations"`
 	Commits       uint64 `json:"commits"`
+	// Translations counts sibling entries served across machine types by
+	// LookupTranslated; they are deliberately not Hits — a translated seed
+	// is a hypothesis, not a cache hit on this machine's profile.
+	Translations uint64 `json:"translations,omitempty"`
+	// Refunds counts reuse-budget charges returned by Refund after a
+	// seeded session failed before its search could run.
+	Refunds uint64 `json:"refunds,omitempty"`
 }
 
 type storeEntry struct {
@@ -110,6 +117,59 @@ func (s *Store) Lookup(k Key) (Entry, uint64, bool) {
 	e.uses++
 	s.counters.Hits++
 	return e.Entry, e.gen, true
+}
+
+// LookupTranslated finds a sibling entry for the same (bench, input) on a
+// *different* machine — the source a cross-machine translated warm start
+// seeds from after Lookup missed. Siblings are scanned in machine-name
+// order so the choice is deterministic regardless of commit interleaving;
+// stale siblings are evicted exactly as Lookup would evict them. A serve
+// consumes the sibling's reuse budget (a translated seed is still a reuse
+// of that profile) and counts Translations, never Hits: the caller's
+// Lookup already counted the miss for this machine's key, and the hit
+// rate must keep meaning "sessions served by a same-machine profile".
+func (s *Store) LookupTranslated(k Key) (Entry, Key, uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sibs []Key
+	for sk := range s.entries {
+		if sk.Bench == k.Bench && sk.Input == k.Input && sk.Machine != k.Machine {
+			sibs = append(sibs, sk)
+		}
+	}
+	sort.Slice(sibs, func(i, j int) bool { return sibs[i].Machine < sibs[j].Machine })
+	for _, sk := range sibs {
+		e := s.entries[sk]
+		if !s.frozen && e.uses >= s.cfg.MaxReuse {
+			delete(s.entries, sk)
+			s.counters.Stale++
+			continue
+		}
+		if !s.frozen {
+			e.uses++
+		}
+		s.counters.Translations++
+		return e.Entry, sk, e.gen, true
+	}
+	return Entry{}, Key{}, 0, false
+}
+
+// Refund returns one reuse-budget charge to an entry whose warm start never
+// ran: a seeded session that dies before its search (build or launch
+// failure) consumed budget for nothing, and without the refund a string of
+// transient failures could stale a perfectly good profile. The generation
+// guard makes a refund against a since-refreshed entry a no-op, exactly
+// like Invalidate. Reports whether a charge was returned.
+func (s *Store) Refund(k Key, gen uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[k]
+	if !ok || e.gen != gen || s.frozen || e.uses <= 0 {
+		return false
+	}
+	e.uses--
+	s.counters.Refunds++
+	return true
 }
 
 // Commit installs (or refreshes) the profile for a key, resetting its reuse

@@ -49,6 +49,14 @@ type Machine struct {
 // Seconds converts a simulated duration to cycles on this machine.
 func (m Machine) Seconds(s float64) uint64 { return uint64(s * m.Hz) }
 
+// MemLatency is the machine's effective memory latency in cycles: the DRAM
+// fill latency plus the L3 lookup that precedes it on every LLC miss. The
+// useful prefetch distance scales with how far ahead a load must be issued
+// to hide this latency, so the *ratio* of two machines' MemLatency values
+// is the first-order translation factor for transplanting a tuned distance
+// across microarchitectures.
+func (m Machine) MemLatency() uint64 { return m.Cache.DRAM.Latency + m.Cache.L3.Latency }
+
 // ToSeconds converts cycles to simulated seconds.
 func (m Machine) ToSeconds(cycles uint64) float64 { return float64(cycles) / m.Hz }
 

@@ -93,6 +93,12 @@ type Config struct {
 	// narrow ±2 gradient span and terminates immediately if the seed is a
 	// local optimum, so a good seed converges in as few as three probes.
 	SeedDistance int
+	// SeedTranslated marks SeedDistance as a cross-machine hypothesis
+	// rather than a distance tuned on *this* machine: the search keeps the
+	// cold ±5 gradient span and never takes the warm fast-path accept, so
+	// a mistranslated distance is walked away from instead of locked in.
+	// The fleet's profile-translation layer is the intended caller.
+	SeedTranslated bool
 	// OnPhase, when non-nil, is invoked at each controller phase
 	// transition with the phase name ("profile", "rewrite", "insert",
 	// "tune", "detach") and the session-relative simulated time in

@@ -155,12 +155,20 @@ func (c *Controller) tune(tr *proc.Tracer, agent *proc.LibPG2, ins *insertion, r
 	// Cold sessions probe ±5 around the random start (§3.4). A session
 	// warm-started from a cached tuned distance probes a narrow ±2 span
 	// instead, and stops after just these three measurements when the
-	// seed is still a local optimum — the profile store's fast path.
+	// seed is still a local optimum — the profile store's fast path. A
+	// *translated* seed keeps the cold span and skips the fast path: the
+	// scaled distance is a cross-machine hypothesis, not a local optimum
+	// observed here, so it must earn its keep through the full gradient.
+	seeded := c.cfg.SeedDistance > 0 && !c.cfg.SeedTranslated
 	r0 := r.InitialDistance
 	span := 5
-	if c.cfg.SeedDistance > 0 {
+	if seeded {
 		span = 2
 	}
+	// Clamping can alias an endpoint onto the start itself (a seed of 1
+	// with the warm ±2 span yields lo == r0; a seed at MaxDistance yields
+	// hi == r0). An aliased endpoint reuses the start's measurement
+	// instead of issuing a duplicate probe.
 	lo := c.clampDistance(r0 - span)
 	hi := c.clampDistance(r0 + span)
 	mLo, err := measure(lo)
@@ -168,17 +176,23 @@ func (c *Controller) tune(tr *proc.Tracer, agent *proc.LibPG2, ins *insertion, r
 		c.finishCosts(r)
 		return best, err
 	}
-	mMid, err := measure(r0)
-	if err != nil || !alive() {
-		c.finishCosts(r)
-		return best, err
+	mMid := mLo
+	if r0 != lo {
+		mMid, err = measure(r0)
+		if err != nil || !alive() {
+			c.finishCosts(r)
+			return best, err
+		}
 	}
-	mHi, err := measure(hi)
-	if err != nil || !alive() {
-		c.finishCosts(r)
-		return best, err
+	mHi := mMid
+	if hi != r0 {
+		mHi, err = measure(hi)
+		if err != nil || !alive() {
+			c.finishCosts(r)
+			return best, err
+		}
 	}
-	if c.cfg.SeedDistance > 0 {
+	if seeded {
 		// Accept the seed as a local optimum if neither neighbour beats
 		// it by more than the measurement noise — otherwise a ±1σ
 		// fluctuation sends a warm session on a full walk and the

@@ -1,0 +1,91 @@
+package rpg2_test
+
+import (
+	"testing"
+
+	"rpg2/internal/machine"
+	"rpg2/internal/rpg2"
+)
+
+// seedFrom mines a seed profile (function + candidate PCs) with one cold
+// session, the way the fleet's store does.
+func seedFrom(t *testing.T, bench string, m machine.Machine) (string, []int) {
+	t.Helper()
+	r, _ := optimize(t, bench, "", m, rpg2.Config{Seed: 11})
+	if r.Outcome != rpg2.Tuned {
+		t.Fatalf("seed-mining session did not tune: %v", r.Outcome)
+	}
+	cands := make([]int, 0, len(r.Sites))
+	for _, s := range r.Sites {
+		cands = append(cands, s.DemandPC)
+	}
+	return r.FuncName, cands
+}
+
+// probesOf counts a report's tune-phase timeline points — one per distance
+// probe actually measured.
+func probesOf(r *rpg2.Report) int {
+	n := 0
+	for _, pt := range r.Timeline {
+		if pt.Phase == "tune" {
+			n++
+		}
+	}
+	return n
+}
+
+// TestSeededSearchBoundaryAlias: a seed at either end of the distance range
+// clamps a stage-1 endpoint onto the seed itself. The aliased endpoint must
+// reuse the seed's measurement, not issue a duplicate probe: every distance
+// edit lands on a distinct distance, at both boundaries.
+func TestSeededSearchBoundaryAlias(t *testing.T) {
+	m := machine.CascadeLake()
+	fn, cands := seedFrom(t, "is", m)
+	for _, seed := range []int{1, 200} {
+		cfg := rpg2.Config{
+			Seed: 12, SeedFunc: fn, SeedCandidates: cands, SeedDistance: seed,
+		}
+		r, _ := optimize(t, "is", "", m, cfg)
+		if r.Costs.PDEdits != len(r.Explored) {
+			t.Errorf("seed %d: %d distance edits over %d distinct distances — duplicate probe",
+				seed, r.Costs.PDEdits, len(r.Explored))
+		}
+		if got := probesOf(r); got != r.Costs.PDEdits {
+			t.Errorf("seed %d: %d tune windows for %d edits", seed, got, r.Costs.PDEdits)
+		}
+		// The seed and its one in-range warm-span neighbour must both have
+		// been measured; the clamped neighbour aliases the seed.
+		other := 3 // seed 1, span ±2
+		if seed == 200 {
+			other = 198
+		}
+		for _, d := range []int{seed, other} {
+			if _, ok := r.Explored[d]; !ok {
+				t.Errorf("seed %d: stage 1 never measured d=%d (explored %v)",
+					seed, d, r.Explored)
+			}
+		}
+	}
+}
+
+// TestTranslatedSeedKeepsColdSpan: a translated seed is a cross-machine
+// hypothesis, so stage 1 must probe the full cold ±5 span around it rather
+// than the warm ±2 fast path.
+func TestTranslatedSeedKeepsColdSpan(t *testing.T) {
+	m := machine.CascadeLake()
+	fn, cands := seedFrom(t, "is", m)
+	cfg := rpg2.Config{
+		Seed: 13, SeedFunc: fn, SeedCandidates: cands,
+		SeedDistance: 40, SeedTranslated: true,
+	}
+	r, _ := optimize(t, "is", "", m, cfg)
+	for _, d := range []int{35, 40, 45} {
+		if _, ok := r.Explored[d]; !ok {
+			t.Fatalf("translated seed 40 skipped the cold-span probe at d=%d (explored %v)",
+				d, r.Explored)
+		}
+	}
+	if _, warm := r.Explored[38]; warm {
+		t.Fatal("translated seed probed the warm ±2 span")
+	}
+}

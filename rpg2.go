@@ -227,6 +227,15 @@ type ProfileStore = fleet.Store
 // policy, shareable across fleets via FleetConfig.Store.
 func NewProfileStore() *ProfileStore { return fleet.NewStore(fleet.StoreConfig{}) }
 
+// TranslateDistance scales a prefetch distance tuned on machine src into a
+// starting hypothesis for machine dst, by the ratio of the machines'
+// effective memory latencies, rounded and clamped to [1, maxDistance] —
+// the scaling the fleet's FleetConfig.Translate seeding tier applies to
+// cross-machine profile transplants.
+func TranslateDistance(src, dst Machine, d, maxDistance int) int {
+	return fleet.TranslateDistance(src, dst, d, maxDistance)
+}
+
 // NewFleet starts a fleet service; its worker pool is live immediately.
 // Submit sessions (or batch them with Run), Drain, read Snapshot, Close.
 func NewFleet(cfg FleetConfig) *Fleet { return fleet.New(cfg) }
