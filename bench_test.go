@@ -10,11 +10,14 @@
 package rpg2_test
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"rpg2"
 	"rpg2/internal/baselines"
@@ -466,4 +469,105 @@ func placementSpeedup(b *testing.B, m machine.Machine, inner bool) float64 {
 func injectWithPlacement(w *workloads.Workload, cand []int, d int, inner bool) (*bolt.Rewrite, error) {
 	return bolt.InjectPrefetchWithOptions(w.Bin, workloads.KernelFunc, cand, d,
 		bolt.Options{PreferInnerPlacement: inner})
+}
+
+// ---- performance trajectory (BENCH_*.json) ------------------------------
+
+// benchJSON, when set (go test -bench=FleetTrajectory -args -benchjson=
+// BENCH_fleet.json), appends this run's headline throughput numbers to a
+// JSON trajectory file, so successive commits accumulate a comparable
+// performance history. CI runs this as a non-gating step.
+var benchJSON = flag.String("benchjson", "", "append FleetTrajectory metrics to this JSON file")
+
+// trajectoryPoint is one commit's entry in the BENCH_*.json history.
+type trajectoryPoint struct {
+	Time              string  `json:"time"`
+	Commit            string  `json:"commit,omitempty"`
+	Sessions          int     `json:"sessions"`
+	WallSeconds       float64 `json:"wall_seconds"`
+	SessionsPerSecond float64 `json:"sessions_per_second"`
+	Instructions      uint64  `json:"instructions"`
+	NsPerInstruction  float64 `json:"ns_per_instruction"`
+}
+
+// BenchmarkFleetTrajectory measures the two throughput numbers the
+// trajectory tracks: raw interpreter speed (wall-clock ns per simulated
+// instruction, the floor under everything else) and fleet throughput
+// (sessions per wall-clock second through the full admission + profile +
+// rewrite + tune pipeline, store amortisation included).
+func BenchmarkFleetTrajectory(b *testing.B) {
+	var pt trajectoryPoint
+	for i := 0; i < b.N; i++ {
+		pt = measureTrajectory(b)
+	}
+	b.ReportMetric(pt.SessionsPerSecond, "sessions/s")
+	b.ReportMetric(pt.NsPerInstruction, "ns/instr")
+	if *benchJSON == "" {
+		return
+	}
+	var points []trajectoryPoint
+	if data, err := os.ReadFile(*benchJSON); err == nil {
+		json.Unmarshal(data, &points) // a damaged file restarts the history
+	}
+	points = append(points, pt)
+	data, err := json.MarshalIndent(points, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "\n===== %s =====\nappended point %d to %s: %.2f sessions/s, %.1f ns/instr\n",
+		b.Name(), len(points), *benchJSON, pt.SessionsPerSecond, pt.NsPerInstruction)
+}
+
+func measureTrajectory(b *testing.B) trajectoryPoint {
+	b.Helper()
+	pt := trajectoryPoint{Time: time.Now().UTC().Format(time.RFC3339)}
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		pt.Commit = sha
+	}
+
+	// Interpreter floor: run one workload flat out and clock it.
+	m := machine.CascadeLake()
+	w, err := workloads.Build("is", "", 1<<30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := m.Launch(w.Bin, w.Setup)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := time.Now()
+	p.Run(m.Seconds(2))
+	elapsed := time.Since(start)
+	pt.Instructions = p.Counters().Instructions
+	if pt.Instructions > 0 {
+		pt.NsPerInstruction = float64(elapsed.Nanoseconds()) / float64(pt.Instructions)
+	}
+
+	// Fleet throughput: a mixed batch through the whole pipeline.
+	pairs := []rpg2.SessionSpec{
+		{Bench: "is"}, {Bench: "cg"}, {Bench: "randacc"},
+		{Bench: "bfs", Input: "soc-gamma"},
+	}
+	f := rpg2.NewFleet(rpg2.FleetConfig{Machine: m, Workers: 4})
+	defer f.Close()
+	const sessions = 16
+	start = time.Now()
+	for i := 0; i < sessions; i++ {
+		spec := pairs[i%len(pairs)]
+		spec.Seed = int64(i + 1)
+		if _, err := f.Submit(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	f.Drain()
+	wall := time.Since(start).Seconds()
+	pt.Sessions = sessions
+	pt.WallSeconds = wall
+	if wall > 0 {
+		pt.SessionsPerSecond = float64(sessions) / wall
+	}
+	return pt
 }

@@ -1,0 +1,176 @@
+// Command rpg2-fleetd serves a fleet over HTTP: the long-lived daemon the
+// client library (and rpg2-fleetctl) talk to. Sessions are submitted as
+// JSON specs, polled by ID, and fetched as terminal outcomes; the profile
+// store answers read-only lookups; the journal streams as NDJSON with a
+// resumable sequence cursor; and the metrics snapshot is one GET away.
+//
+// Usage:
+//
+//	rpg2-fleetd -listen 127.0.0.1:8047 -machine cascadelake -workers 4
+//	rpg2-fleetd -listen :8047 -state-dir ./state -fsync always
+//	rpg2-fleetd -listen :8047 -state-dir ./state -resume
+//	rpg2-fleetd -listen :8047 -tenant-queue 8 -max-queue 64 -tenant-quota 2
+//
+// Backpressure: -max-queue caps the total waiting sessions and
+// -tenant-queue caps one tenant's share; a submission over either cap is
+// rejected with HTTP 429 and a Retry-After header instead of growing the
+// queue without bound. -tenant-quota additionally bounds each tenant's
+// in-flight sessions.
+//
+// SIGINT/SIGTERM triggers a graceful drain: new submissions get 503,
+// queued sessions journal as cancelled, in-flight sessions finish, the
+// WAL flushes, event streams end cleanly, and the process exits 0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"rpg2"
+)
+
+type options struct {
+	listen  string
+	machine string
+	workers int
+	seconds float64
+
+	nostore   bool
+	translate bool
+
+	quota       int
+	tenantQuota int
+	maxQueue    int
+	tenantQueue int
+	retries     int
+	breaker     int
+
+	stateDir string
+	resume   bool
+	fresh    bool
+	fsync    string
+
+	retryAfterCap int
+	addrFile      string
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.listen, "listen", "127.0.0.1:8047", "address to serve the HTTP API on")
+	flag.StringVar(&o.machine, "machine", "cascadelake", "machine: cascadelake or haswell")
+	flag.IntVar(&o.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	flag.Float64Var(&o.seconds, "seconds", 2, "default simulated post-optimization run budget per session")
+	flag.BoolVar(&o.nostore, "no-store", false, "disable the profile store (every session cold)")
+	flag.BoolVar(&o.translate, "translate", false, "on a store miss, seed from a sibling machine's profile with a latency-scaled distance")
+	flag.IntVar(&o.quota, "quota", 0, "max in-flight sessions per (benchmark, input) pair (0 = unlimited)")
+	flag.IntVar(&o.tenantQuota, "tenant-quota", 0, "max in-flight sessions per tenant (0 = unlimited)")
+	flag.IntVar(&o.maxQueue, "max-queue", 0, "max waiting sessions before submissions get 429 (0 = unbounded)")
+	flag.IntVar(&o.tenantQueue, "tenant-queue", 0, "max waiting sessions per tenant before its submissions get 429 (0 = unbounded)")
+	flag.IntVar(&o.retries, "retries", 0, "retry budget for failed/rolled-back sessions (0 = no retry lane)")
+	flag.IntVar(&o.breaker, "breaker", 0, "consecutive rollbacks that trip a pair's circuit breaker (0 = off)")
+	flag.StringVar(&o.stateDir, "state-dir", "", "persist the journal WAL and profile-store snapshots here (empty = in-memory only)")
+	flag.BoolVar(&o.resume, "resume", false, "recover the state dir's interrupted run; its sessions stay pollable under their old IDs")
+	flag.BoolVar(&o.fresh, "fresh", false, "discard a state dir's interrupted run and start a fresh epoch (default: refuse)")
+	flag.StringVar(&o.fsync, "fsync", "interval", "WAL durability: interval, always, or never")
+	flag.IntVar(&o.retryAfterCap, "retry-after-cap", 30, "upper bound on the Retry-After header, in seconds")
+	flag.StringVar(&o.addrFile, "addr-file", "", "write the bound listen address to this file once serving (for test harnesses using port 0)")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "rpg2-fleetd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options) error {
+	m, ok := rpg2.MachineByName(o.machine)
+	if !ok {
+		return fmt.Errorf("unknown machine %q", o.machine)
+	}
+	fsync, err := rpg2.ParseFsyncPolicy(o.fsync)
+	if err != nil {
+		return err
+	}
+	if o.resume && o.stateDir == "" {
+		return fmt.Errorf("-resume needs -state-dir")
+	}
+	// Same guard as rpg2-fleet: an interrupted run is recoverable work,
+	// not scratch space — refuse to overwrite it silently.
+	if o.stateDir != "" && !o.resume && !o.fresh {
+		if n := rpg2.FleetPendingSessions(o.stateDir); n > 0 {
+			return fmt.Errorf("state dir %q holds an interrupted run (%d unfinished sessions); pass -resume to serve it or -fresh to discard it", o.stateDir, n)
+		}
+	}
+
+	srv, err := rpg2.NewFleetDaemon(rpg2.FleetDaemonConfig{
+		Fleet: rpg2.FleetConfig{
+			Machine:          m,
+			Workers:          o.workers,
+			RunSeconds:       o.seconds,
+			DisableStore:     o.nostore,
+			Translate:        o.translate,
+			Quota:            o.quota,
+			TenantQuota:      o.tenantQuota,
+			MaxQueue:         o.maxQueue,
+			MaxTenantQueue:   o.tenantQueue,
+			MaxRetries:       o.retries,
+			BreakerThreshold: o.breaker,
+			StateDir:         o.stateDir,
+			Fsync:            fsync,
+			Overwrite:        o.fresh,
+		},
+		Resume:        o.resume,
+		RetryAfterCap: o.retryAfterCap,
+	})
+	if err != nil {
+		return err
+	}
+	if rec := srv.Recovery(); rec != nil {
+		fmt.Println(rec.Summary())
+	}
+
+	ln, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rpg2-fleetd: serving on http://%s (machine %s)\n", ln.Addr(), m.Name)
+	if o.addrFile != "" {
+		// Write-then-rename so a watching parent never reads a torn file.
+		tmp := o.addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, o.addrFile); err != nil {
+			return err
+		}
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		signal.Stop(sigc) // a second signal kills the process normally
+		fmt.Fprintf(os.Stderr, "rpg2-fleetd: %v: draining (in-flight sessions finish, queued cancel)\n", sig)
+	}
+
+	// Drain first — event streams deliver everything and end, queued
+	// sessions journal as cancelled, the WAL flushes — then close the
+	// HTTP listener.
+	st := srv.Drain()
+	httpSrv.Close()
+	snap := srv.Fleet().Snapshot()
+	fmt.Printf("rpg2-fleetd: drained: %d queued cancelled, %d completed, %d failed\n",
+		st.Cancelled, snap.Completed, snap.Failed)
+	return nil
+}

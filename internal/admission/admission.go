@@ -38,6 +38,11 @@ type Key struct {
 type Config struct {
 	// Quota bounds in-flight items per key (0 = unlimited).
 	Quota int
+	// TenantQuota bounds in-flight items per tenant (0 = unlimited), so a
+	// single submitter cannot monopolise the worker pool no matter how many
+	// distinct workloads it spreads its sessions over. Items with an empty
+	// tenant are exempt (they belong to no one to protect against).
+	TenantQuota int
 	// MaxRetries is the per-item retry budget (0 = no retry lane).
 	MaxRetries int
 	// BackoffBase is the first retry's backoff in virtual seconds
@@ -78,6 +83,9 @@ type Item struct {
 	ID       int
 	Key      Key
 	Priority int
+	// Tenant names the submitter the item is accounted to for tenant
+	// quotas and queue-depth tracking ("" = untenanted, exempt from both).
+	Tenant string
 	// Breakable items participate in the circuit breaker (the fleet sets
 	// this for optimize jobs; reference-scheme jobs pass through).
 	Breakable bool
@@ -149,6 +157,10 @@ type Queue struct {
 	retries  []*Item // retry lane, kept sorted by due time
 	inflight map[Key]int
 	breakers map[Key]*breaker
+	// tenantInflight and tenantDepth account non-empty tenants: items a
+	// tenant has running, and items it has waiting (ready + retry lane).
+	tenantInflight map[string]int
+	tenantDepth    map[string]int
 
 	clock      float64
 	dispatches int
@@ -159,9 +171,11 @@ type Queue struct {
 // NewQueue builds an empty scheduler.
 func NewQueue(cfg Config) *Queue {
 	return &Queue{
-		cfg:      cfg.withDefaults(),
-		inflight: make(map[Key]int),
-		breakers: make(map[Key]*breaker),
+		cfg:            cfg.withDefaults(),
+		inflight:       make(map[Key]int),
+		breakers:       make(map[Key]*breaker),
+		tenantInflight: make(map[string]int),
+		tenantDepth:    make(map[string]int),
 	}
 }
 
@@ -171,10 +185,39 @@ func (q *Queue) Push(it *Item) {
 	q.seq++
 	it.waitedAt = q.dispatches
 	q.ready = append(q.ready, it)
+	q.depthAdd(it.Tenant, 1)
+}
+
+// depthAdd moves a tenant's waiting-item count, dropping zeroed tenants so
+// TenantDepths never accretes dead submitters.
+func (q *Queue) depthAdd(tenant string, delta int) {
+	if tenant == "" {
+		return
+	}
+	q.tenantDepth[tenant] += delta
+	if q.tenantDepth[tenant] <= 0 {
+		delete(q.tenantDepth, tenant)
+	}
 }
 
 // Len is the number of items waiting (ready + retry lane).
 func (q *Queue) Len() int { return len(q.ready) + len(q.retries) }
+
+// TenantDepth is how many items a tenant has waiting (ready + retry lane).
+func (q *Queue) TenantDepth(tenant string) int { return q.tenantDepth[tenant] }
+
+// TenantDepths copies the per-tenant waiting-item counts (non-empty
+// tenants only; nil when no tenanted work is waiting).
+func (q *Queue) TenantDepths() map[string]int {
+	if len(q.tenantDepth) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(q.tenantDepth))
+	for t, n := range q.tenantDepth {
+		out[t] = n
+	}
+	return out
+}
 
 // Empty reports whether nothing is waiting anywhere.
 func (q *Queue) Empty() bool { return q.Len() == 0 }
@@ -305,6 +348,18 @@ func (q *Queue) quotaFull(k Key) bool {
 	return q.cfg.Quota > 0 && q.inflight[k] >= q.cfg.Quota
 }
 
+// tenantFull reports whether a tenant has no in-flight slot left.
+func (q *Queue) tenantFull(tenant string) bool {
+	return q.cfg.TenantQuota > 0 && tenant != "" &&
+		q.tenantInflight[tenant] >= q.cfg.TenantQuota
+}
+
+// blocked reports whether an item cannot dispatch right now because of a
+// key or tenant ceiling.
+func (q *Queue) blocked(it *Item) bool {
+	return q.quotaFull(it.Key) || q.tenantFull(it.Tenant)
+}
+
 // effective is an item's aged priority: explicit priority plus one point
 // per AgingStep dispatches spent waiting.
 func (q *Queue) effective(it *Item) int {
@@ -334,7 +389,7 @@ func (q *Queue) promoteDue() {
 func (q *Queue) pick() (best *Item, quotaBlocked bool) {
 	bestEff := 0
 	for _, it := range q.ready {
-		if q.quotaFull(it.Key) {
+		if q.blocked(it) {
 			quotaBlocked = true
 			continue
 		}
@@ -359,7 +414,11 @@ func (q *Queue) remove(it *Item) {
 // dispatch finalises a pick: quota accounting, breaker parking, counters.
 func (q *Queue) dispatch(it *Item, waited float64) (Decision, bool) {
 	q.remove(it)
+	q.depthAdd(it.Tenant, -1)
 	q.inflight[it.Key]++
+	if it.Tenant != "" {
+		q.tenantInflight[it.Tenant]++
+	}
 	q.dispatches++
 	d := Decision{Item: it, Waited: waited}
 	if it.Breakable && q.cfg.BreakerThreshold > 0 {
@@ -388,10 +447,11 @@ func (q *Queue) Pop() (Decision, bool) {
 		return q.dispatch(it, 0)
 	}
 	// Nothing ready: advance the clock to the earliest retry whose key
-	// has a free slot, if any. The lane is sorted by due time, so the
-	// first admissible item is the one a real scheduler would wake for.
+	// and tenant have a free slot, if any. The lane is sorted by due time,
+	// so the first admissible item is the one a real scheduler would wake
+	// for.
 	for _, it := range q.retries {
-		if q.quotaFull(it.Key) {
+		if q.blocked(it) {
 			continue
 		}
 		waited := it.due - q.clock
@@ -416,7 +476,7 @@ func (q *Queue) Pop() (Decision, bool) {
 // quota-blocked.
 func (q *Queue) blockedRetries() bool {
 	for _, it := range q.retries {
-		if q.quotaFull(it.Key) {
+		if q.blocked(it) {
 			return true
 		}
 	}
@@ -431,11 +491,13 @@ func (q *Queue) Evict() (*Item, bool) {
 	if len(q.ready) > 0 {
 		it := q.ready[0]
 		q.ready = q.ready[1:]
+		q.depthAdd(it.Tenant, -1)
 		return it, true
 	}
 	if len(q.retries) > 0 {
 		it := q.retries[0]
 		q.retries = q.retries[1:]
+		q.depthAdd(it.Tenant, -1)
 		return it, true
 	}
 	return nil, false
@@ -446,6 +508,18 @@ func (q *Queue) Evict() (*Item, bool) {
 func (q *Queue) Release(k Key) {
 	if q.inflight[k] > 0 {
 		q.inflight[k]--
+	}
+}
+
+// ReleaseItem returns both the key quota slot and the tenant quota slot an
+// item occupied. Prefer this over Release when items carry tenants.
+func (q *Queue) ReleaseItem(it *Item) {
+	q.Release(it.Key)
+	if it.Tenant != "" && q.tenantInflight[it.Tenant] > 0 {
+		q.tenantInflight[it.Tenant]--
+		if q.tenantInflight[it.Tenant] == 0 {
+			delete(q.tenantInflight, it.Tenant)
+		}
 	}
 }
 
@@ -475,6 +549,7 @@ func (q *Queue) Retry(it *Item) (backoff, due float64, ok bool) {
 	backoff = q.Backoff(it.Attempt)
 	it.due = q.clock + backoff
 	q.retries = append(q.retries, it)
+	q.depthAdd(it.Tenant, 1)
 	sort.SliceStable(q.retries, func(i, j int) bool {
 		return q.retries[i].due < q.retries[j].due
 	})

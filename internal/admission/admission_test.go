@@ -412,3 +412,107 @@ func TestReplayBreakerEdges(t *testing.T) {
 		t.Fatalf("close replay left %+v", bs)
 	}
 }
+
+// TestTenantQuotaCapsDispatch: with TenantQuota=2, a tenant with three
+// waiting items across three distinct keys dispatches only two, while an
+// untenanted item (and another tenant's item) still flow.
+func TestTenantQuotaCapsDispatch(t *testing.T) {
+	q := NewQueue(Config{TenantQuota: 2, AgingStep: -1})
+	for i := 0; i < 3; i++ {
+		it := item(i, Key{Bench: "a", Input: string(rune('x' + i))}, 5)
+		it.Tenant = "alice"
+		q.Push(it)
+	}
+	bob := item(10, Key{Bench: "b"}, 0)
+	bob.Tenant = "bob"
+	q.Push(bob)
+	q.Push(item(20, Key{Bench: "c"}, 0)) // untenanted: exempt
+
+	if got := popID(t, q); got != 0 {
+		t.Fatalf("first dispatch = %d, want alice/0", got)
+	}
+	if got := popID(t, q); got != 1 {
+		t.Fatalf("second dispatch = %d, want alice/1", got)
+	}
+	// Alice is at her quota: her third item must be skipped in favour of
+	// bob and the untenanted item despite its higher priority.
+	if got := popID(t, q); got != 10 {
+		t.Fatalf("third dispatch = %d, want bob/10 (alice at quota)", got)
+	}
+	if got := popID(t, q); got != 20 {
+		t.Fatalf("fourth dispatch = %d, want untenanted/20", got)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("alice's third item dispatched while she was at quota")
+	}
+	if q.Stats().QuotaStalls == 0 {
+		t.Fatal("tenant-blocked Pop did not count a quota stall")
+	}
+	// Releasing one of alice's items frees the slot.
+	first := &Item{ID: 0, Key: Key{Bench: "a", Input: "x"}, Tenant: "alice"}
+	q.ReleaseItem(first)
+	if got := popID(t, q); got != 2 {
+		t.Fatalf("post-release dispatch = %d, want alice/2", got)
+	}
+}
+
+// TestTenantDepthAccounting: depth follows Push/dispatch/Retry/Evict, and
+// zeroed tenants are dropped from the map.
+func TestTenantDepthAccounting(t *testing.T) {
+	q := NewQueue(Config{MaxRetries: 2, BackoffBase: 1, BackoffCap: 8})
+	a := item(1, Key{Bench: "a"}, 0)
+	a.Tenant = "alice"
+	b := item(2, Key{Bench: "b"}, 0)
+	b.Tenant = "bob"
+	q.Push(a)
+	q.Push(b)
+	if d := q.TenantDepth("alice"); d != 1 {
+		t.Fatalf("alice depth after push = %d, want 1", d)
+	}
+	if got := len(q.TenantDepths()); got != 2 {
+		t.Fatalf("TenantDepths has %d tenants, want 2", got)
+	}
+
+	popID(t, q) // dispatch alice
+	if d := q.TenantDepth("alice"); d != 0 {
+		t.Fatalf("alice depth after dispatch = %d, want 0", d)
+	}
+	if _, ok := q.TenantDepths()["alice"]; ok {
+		t.Fatal("zeroed tenant still present in TenantDepths")
+	}
+
+	// Retry re-enters the lane: depth comes back.
+	if _, _, ok := q.Retry(a); !ok {
+		t.Fatal("Retry refused with budget remaining")
+	}
+	if d := q.TenantDepth("alice"); d != 1 {
+		t.Fatalf("alice depth after retry = %d, want 1", d)
+	}
+
+	// Evict drains both the ready queue and the retry lane.
+	for {
+		if _, ok := q.Evict(); !ok {
+			break
+		}
+	}
+	if q.TenantDepths() != nil {
+		t.Fatalf("depths after full eviction = %v, want nil", q.TenantDepths())
+	}
+}
+
+// TestUntenantedExemptFromTenantQuota: empty tenants never block even with
+// TenantQuota=1.
+func TestUntenantedExemptFromTenantQuota(t *testing.T) {
+	q := NewQueue(Config{TenantQuota: 1})
+	for i := 0; i < 4; i++ {
+		q.Push(item(i, Key{Bench: "a", Input: string(rune('0' + i))}, 0))
+	}
+	for i := 0; i < 4; i++ {
+		if got := popID(t, q); got != i {
+			t.Fatalf("dispatch %d = %d; untenanted items must be exempt", i, got)
+		}
+	}
+	if q.TenantDepths() != nil {
+		t.Fatal("untenanted items leaked into tenant depth accounting")
+	}
+}

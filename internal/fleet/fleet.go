@@ -179,6 +179,11 @@ type SessionSpec struct {
 	Sweep *baselines.SweepConfig
 	// ProfileSeconds is ProfileJob's sampling window (default 2 s).
 	ProfileSeconds float64
+	// Tenant names the submitter for per-tenant admission quotas and
+	// queue-depth backpressure (Config.TenantQuota, MaxTenantQueue). The
+	// empty tenant is exempt from both, so untenanted fleets behave
+	// exactly as before the field existed.
+	Tenant string
 }
 
 // Session is one tracked unit of fleet work over one target process.
@@ -361,6 +366,19 @@ type Config struct {
 	// Quota bounds concurrent in-flight sessions per (bench, input) so
 	// one workload cannot monopolise the worker pool (0 = unlimited).
 	Quota int
+	// TenantQuota bounds concurrent in-flight sessions per tenant (0 =
+	// unlimited; untenanted sessions are exempt), so one submitter cannot
+	// monopolise the pool by spreading over many workloads.
+	TenantQuota int
+	// MaxQueue bounds the total number of waiting sessions: Submit
+	// returns an *OverloadError (429 through the daemon) instead of
+	// growing the queue past it (0 = unbounded, the pre-daemon
+	// behavior). Recovery re-admissions and retry-lane re-entries are
+	// exempt — backpressure sheds new work, never committed work.
+	MaxQueue int
+	// MaxTenantQueue bounds one tenant's waiting sessions the same way
+	// (0 = unbounded; untenanted sessions are exempt).
+	MaxTenantQueue int
 	// MaxRetries re-admits Failed and RolledBack sessions as cold
 	// re-profile attempts, up to this many times per session (0 = retry
 	// lane disabled). Retried attempts derive a fresh deterministic seed
@@ -440,6 +458,36 @@ func (c Config) defaults() Config {
 // exports it as ErrFleetClosed). Use errors.Is to test for it.
 var ErrClosed = errors.New("fleet: closed to new sessions")
 
+// ErrOverloaded is the sentinel every backpressure rejection matches via
+// errors.Is; the concrete error is an *OverloadError carrying which cap
+// tripped.
+var ErrOverloaded = errors.New("fleet: queue overloaded")
+
+// OverloadError is Submit's backpressure rejection: the queue (global or
+// one tenant's share) is at its configured cap. The daemon maps it to
+// HTTP 429 with a Retry-After derived from current throughput.
+type OverloadError struct {
+	// Scope is "global" or "tenant".
+	Scope string
+	// Tenant is the rejected tenant (empty for global rejections).
+	Tenant string
+	// Depth is the waiting-session count that tripped the cap.
+	Depth int
+	// Cap is the configured ceiling that was hit.
+	Cap int
+}
+
+func (e *OverloadError) Error() string {
+	if e.Scope == "tenant" {
+		return fmt.Sprintf("fleet: queue overloaded: tenant %q has %d sessions waiting (cap %d)",
+			e.Tenant, e.Depth, e.Cap)
+	}
+	return fmt.Sprintf("fleet: queue overloaded: %d sessions waiting (cap %d)", e.Depth, e.Cap)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match any overload rejection.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
 // Fleet is the long-lived service: submit sessions, drain, snapshot.
 type Fleet struct {
 	cfg     Config
@@ -486,6 +534,7 @@ func newFleet(cfg Config) *Fleet {
 		metrics: newMetrics(),
 		sched: admission.NewQueue(admission.Config{
 			Quota:            cfg.Quota,
+			TenantQuota:      cfg.TenantQuota,
 			MaxRetries:       cfg.MaxRetries,
 			BackoffBase:      cfg.RetryBackoff,
 			BackoffCap:       cfg.RetryBackoffCap,
@@ -572,24 +621,40 @@ func (f *Fleet) Sessions() []*Session {
 }
 
 // Submit admits one session to the queue and returns its handle. After
-// Close it returns ErrClosed.
+// Close it returns ErrClosed; when a queue-depth cap (Config.MaxQueue,
+// MaxTenantQueue) is hit it returns an *OverloadError (errors.Is
+// ErrOverloaded) and admits nothing.
 func (f *Fleet) Submit(spec SessionSpec) (*Session, error) {
-	return f.submit(spec, 0)
+	return f.submit(spec, 0, true)
 }
 
 // submitRecovered re-admits a session recovered from the WAL as the given
 // attempt; the attempt machinery makes a crash-interrupted attempt re-run
-// cold with a derived seed, exactly like a retried failure.
+// cold with a derived seed, exactly like a retried failure. Recovery
+// bypasses backpressure: this work was already admitted once, shedding it
+// now would turn a crash into data loss.
 func (f *Fleet) submitRecovered(spec SessionSpec, attempt int) *Session {
-	s, _ := f.submit(spec, attempt)
+	s, _ := f.submit(spec, attempt, false)
 	return s
 }
 
-func (f *Fleet) submit(spec SessionSpec, attempt int) (*Session, error) {
+func (f *Fleet) submit(spec SessionSpec, attempt int, enforceCaps bool) (*Session, error) {
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
 		return nil, ErrClosed
+	}
+	if enforceCaps {
+		if n := f.sched.Len(); f.cfg.MaxQueue > 0 && n >= f.cfg.MaxQueue {
+			f.mu.Unlock()
+			return nil, &OverloadError{Scope: "global", Depth: n, Cap: f.cfg.MaxQueue}
+		}
+		if t := spec.Tenant; t != "" && f.cfg.MaxTenantQueue > 0 {
+			if n := f.sched.TenantDepth(t); n >= f.cfg.MaxTenantQueue {
+				f.mu.Unlock()
+				return nil, &OverloadError{Scope: "tenant", Tenant: t, Depth: n, Cap: f.cfg.MaxTenantQueue}
+			}
+		}
 	}
 	s := &Session{ID: f.nextID, Spec: spec, state: Queued, attempt: attempt}
 	s.machineName = f.cfg.Machine.Name
@@ -603,6 +668,7 @@ func (f *Fleet) submit(spec SessionSpec, attempt int) (*Session, error) {
 		Breakable: spec.Kind == OptimizeJob,
 		Payload:   s,
 		Attempt:   attempt,
+		Tenant:    spec.Tenant,
 	}
 	f.nextID++
 	f.sched.Push(s.item)
@@ -617,6 +683,7 @@ func (f *Fleet) submit(spec SessionSpec, attempt int) (*Session, error) {
 		Session: s.ID, Type: "queued", Kind: spec.Kind.String(),
 		Bench: spec.Bench, Input: spec.Input, Machine: s.machineName,
 		State: Queued.String(), Priority: spec.Priority, Attempt: attempt,
+		Tenant: spec.Tenant,
 	}
 	if f.persist != nil {
 		// The replayable spec rides the WAL so recovery can re-admit this
@@ -741,6 +808,8 @@ func (f *Fleet) Run(specs []SessionSpec) ([]*Session, error) {
 func (f *Fleet) Snapshot() Snapshot {
 	f.mu.Lock()
 	workers, peak := f.cfg.Workers, f.queuePeak
+	depth := f.sched.Len()
+	tenants := f.sched.TenantDepths()
 	sched := f.sched.Stats()
 	open := f.sched.OpenBreakers()
 	breakers := f.sched.Breakers()
@@ -749,7 +818,7 @@ func (f *Fleet) Snapshot() Snapshot {
 	if !f.cfg.DisableStore {
 		store = f.store
 	}
-	snap := f.metrics.snapshot(store, f.cfg.Builds, workers, peak, sched, open, breakers)
+	snap := f.metrics.snapshot(store, f.cfg.Builds, workers, peak, depth, tenants, sched, open, breakers)
 	if f.persist != nil {
 		f.persist.health(&snap)
 	}
@@ -758,6 +827,10 @@ func (f *Fleet) Snapshot() Snapshot {
 
 // Builds returns the fleet's workload build cache.
 func (f *Fleet) Builds() *workloads.BuildCache { return f.cfg.Builds }
+
+// Machine returns the fleet's default machine (the one sessions run on
+// when their spec does not override it).
+func (f *Fleet) Machine() machine.Machine { return f.cfg.Machine }
 
 // worker pulls dispatch decisions from the admission scheduler until the
 // fleet is closed and fully drained. A false Pop means everything waiting
@@ -798,7 +871,7 @@ func (f *Fleet) worker() {
 		f.maybePersistSnapshot()
 
 		f.mu.Lock()
-		f.sched.Release(dec.Item.Key)
+		f.sched.ReleaseItem(dec.Item)
 		f.inflight--
 		f.mu.Unlock()
 		f.cond.Broadcast()

@@ -57,6 +57,10 @@ type Event struct {
 	// Attempt is the retry-lane attempt index the event belongs to
 	// (0, omitted, for a session's first admission).
 	Attempt int `json:"attempt,omitempty"`
+	// Tenant is the submitter the session is accounted to ("queued"
+	// events; omitted for untenanted sessions, so pre-tenant journals are
+	// byte-identical).
+	Tenant string `json:"tenant,omitempty"`
 	// Backoff and Due describe a "retry-scheduled" event: the exponential
 	// backoff granted and the virtual-clock due time, both in virtual
 	// seconds.
@@ -80,10 +84,11 @@ type Event struct {
 
 // Journal is an append-only, concurrency-safe event log.
 type Journal struct {
-	mu     sync.Mutex
-	start  time.Time
-	events []Event
-	sink   func(Event)
+	mu      sync.Mutex
+	start   time.Time
+	events  []Event
+	sink    func(Event)
+	watches map[chan struct{}]struct{}
 }
 
 // NewJournal opens an empty journal; Wall timestamps are relative to now.
@@ -109,6 +114,12 @@ func (j *Journal) add(e Event) {
 	if j.sink != nil {
 		j.sink(e)
 	}
+	for ch := range j.watches {
+		select {
+		case ch <- struct{}{}:
+		default: // watcher already has a pending wake; it will re-scan
+		}
+	}
 }
 
 // Events returns a copy of the log in append order.
@@ -118,6 +129,47 @@ func (j *Journal) Events() []Event {
 	out := make([]Event, len(j.events))
 	copy(out, j.events)
 	return out
+}
+
+// EventsSince returns a copy of every event with Seq > after, in order.
+// Seq numbers are dense (assigned 0,1,2,... on append), so passing the
+// last seen Seq resumes a stream with no gap and no duplicate; after=-1
+// returns everything.
+func (j *Journal) EventsSince(after int) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	from := after + 1
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(j.events) {
+		return nil
+	}
+	out := make([]Event, len(j.events)-from)
+	copy(out, j.events[from:])
+	return out
+}
+
+// Watch registers a wake channel: each append sends a non-blocking signal
+// on it. Pair with EventsSince for an edge-triggered stream — a coalesced
+// wake is fine because the consumer re-scans from its cursor. Callers must
+// Unwatch when done.
+func (j *Journal) Watch() chan struct{} {
+	ch := make(chan struct{}, 1)
+	j.mu.Lock()
+	if j.watches == nil {
+		j.watches = make(map[chan struct{}]struct{})
+	}
+	j.watches[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch
+}
+
+// Unwatch removes a wake channel registered by Watch.
+func (j *Journal) Unwatch(ch chan struct{}) {
+	j.mu.Lock()
+	delete(j.watches, ch)
+	j.mu.Unlock()
 }
 
 // SessionEvents returns the events belonging to one session, in order.

@@ -127,6 +127,11 @@ type Snapshot struct {
 	Failed    int `json:"failed"`
 	Degraded  int `json:"degraded"`
 	QueuePeak int `json:"queue_peak"`
+	// QueueDepth is how many sessions are waiting right now (ready plus
+	// retry lane) — the pressure reading submit backpressure keys off.
+	// TenantQueue splits it per non-empty tenant.
+	QueueDepth  int            `json:"queue_depth"`
+	TenantQueue map[string]int `json:"tenant_queue,omitempty"`
 
 	// Admission & resilience counters: retry-lane re-admissions, virtual
 	// seconds consumed by backoff, dispatch attempts stalled on quotas,
@@ -219,8 +224,8 @@ func meanInt(xs []int) float64 {
 	return float64(sum) / float64(len(xs))
 }
 
-func (m *metrics) snapshot(store *Store, builds *workloads.BuildCache, workers, queuePeak int,
-	sched admission.Stats, breakersOpen int, breakers []admission.BreakerState) Snapshot {
+func (m *metrics) snapshot(store *Store, builds *workloads.BuildCache, workers, queuePeak, queueDepth int,
+	tenantQueue map[string]int, sched admission.Stats, breakersOpen int, breakers []admission.BreakerState) Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
@@ -230,6 +235,8 @@ func (m *metrics) snapshot(store *Store, builds *workloads.BuildCache, workers, 
 		Failed:               m.failed,
 		Degraded:             m.degraded,
 		QueuePeak:            queuePeak,
+		QueueDepth:           queueDepth,
+		TenantQueue:          tenantQueue,
 		Retries:              sched.Retries,
 		BackoffWaitSecs:      sched.BackoffWait,
 		QuotaStalls:          sched.QuotaStalls,
@@ -343,8 +350,20 @@ func (s Snapshot) Render() string {
 		fmt.Fprintf(&b, "  translated     %.1f mean probes over %d cross-machine seeded sessions\n",
 			s.TranslatedProbesMean, s.TranslatedSessions)
 	}
-	fmt.Fprintf(&b, "  scheduling     %d workers, peak queue depth %d\n",
-		s.Workers, s.QueuePeak)
+	fmt.Fprintf(&b, "  scheduling     %d workers, queue depth %d (peak %d)\n",
+		s.Workers, s.QueueDepth, s.QueuePeak)
+	if len(s.TenantQueue) > 0 {
+		ts := make([]string, 0, len(s.TenantQueue))
+		for t := range s.TenantQueue {
+			ts = append(ts, t)
+		}
+		sort.Strings(ts)
+		parts := make([]string, len(ts))
+		for i, t := range ts {
+			parts[i] = fmt.Sprintf("%s %d", t, s.TenantQueue[t])
+		}
+		fmt.Fprintf(&b, "  tenant queues  %s\n", strings.Join(parts, ", "))
+	}
 	fmt.Fprintf(&b, "  resilience     %d retries (%.1fs backoff), %d quota stalls, %d breaker trips (%d open)\n",
 		s.Retries, s.BackoffWaitSecs, s.QuotaStalls, s.BreakerTrips, s.BreakersOpen)
 	// Per-key breaker detail: which (bench, input) keys are in trouble and

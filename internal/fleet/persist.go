@@ -55,10 +55,12 @@ type SpecRecord struct {
 	Candidates        []int                  `json:"candidates,omitempty"`
 	Sweep             *baselines.SweepConfig `json:"sweep,omitempty"`
 	ProfileSeconds    float64                `json:"profile_seconds,omitempty"`
+	Tenant            string                 `json:"tenant,omitempty"`
 }
 
-// recordSpec projects a spec for the WAL.
-func recordSpec(spec SessionSpec) *SpecRecord {
+// RecordSpec projects a spec into its JSON-safe WAL form — the same
+// projection the daemon's HTTP submit endpoint accepts on the wire.
+func RecordSpec(spec SessionSpec) *SpecRecord {
 	r := &SpecRecord{
 		Bench: spec.Bench, Input: spec.Input, Kind: uint8(spec.Kind),
 		Priority: spec.Priority, Seed: spec.Seed, Cold: spec.Cold,
@@ -66,6 +68,7 @@ func recordSpec(spec SessionSpec) *SpecRecord {
 		TailWindows: spec.TailWindows, TailWindowSeconds: spec.TailWindowSeconds,
 		Distance: spec.Distance, Candidates: spec.Candidates,
 		Sweep: spec.Sweep, ProfileSeconds: spec.ProfileSeconds,
+		Tenant: spec.Tenant,
 	}
 	if spec.Machine != nil {
 		r.Machine = spec.Machine.Name
@@ -73,9 +76,12 @@ func recordSpec(spec SessionSpec) *SpecRecord {
 	return r
 }
 
-// spec rehydrates the projection. An unknown machine-override name falls
+// recordSpec is the WAL-internal alias for RecordSpec.
+func recordSpec(spec SessionSpec) *SpecRecord { return RecordSpec(spec) }
+
+// Spec rehydrates the projection. An unknown machine-override name falls
 // back to the fleet's machine (dropping the override, not the session).
-func (r *SpecRecord) spec() SessionSpec {
+func (r *SpecRecord) Spec() SessionSpec {
 	s := SessionSpec{
 		Bench: r.Bench, Input: r.Input, Kind: Kind(r.Kind),
 		Priority: r.Priority, Seed: r.Seed, Cold: r.Cold,
@@ -83,6 +89,7 @@ func (r *SpecRecord) spec() SessionSpec {
 		TailWindows: r.TailWindows, TailWindowSeconds: r.TailWindowSeconds,
 		Distance: r.Distance, Candidates: r.Candidates,
 		Sweep: r.Sweep, ProfileSeconds: r.ProfileSeconds,
+		Tenant: r.Tenant,
 	}
 	if r.Machine != "" {
 		if m, ok := machine.ByName(r.Machine); ok {

@@ -38,6 +38,7 @@ import (
 	"strings"
 
 	"rpg2/internal/admission"
+	rpgcore "rpg2/internal/rpg2"
 	"rpg2/internal/wal"
 )
 
@@ -71,6 +72,28 @@ type Recovery struct {
 	Requeued         []*Session `json:"-"`
 	RequeuedWaiting  int        `json:"requeued_waiting"`
 	RequeuedInFlight int        `json:"requeued_in_flight"`
+	// Records distils every pre-crash session for callers that serve
+	// session lookups across a restart (the daemon): terminal sessions
+	// keep their journaled outcome, re-admitted ones carry their new live
+	// handle. Ordered by old session ID.
+	Records []RecoveredSession `json:"-"`
+}
+
+// RecoveredSession is one pre-crash session's distilled history. For a
+// session that reached a terminal record before the crash, State/Err/
+// Report reproduce its journaled outcome and Session is nil; for a
+// re-admitted session, Session is the live handle the recovered fleet is
+// running it under (its ID differs from OldID — recovery continues the ID
+// space, it does not reuse it).
+type RecoveredSession struct {
+	OldID      int
+	State      string
+	Err        string
+	Warm       bool
+	Translated bool
+	Attempt    int
+	Report     *rpgcore.Report
+	Session    *Session
 }
 
 // Summary renders the one-line operator account rpg2-fleet prints.
@@ -113,6 +136,7 @@ type recoveredState struct {
 	order     []Key // commit order for deterministic Restore
 	breakers  []breakerEdge
 	pending   []pendingSession
+	maxID     int // highest pre-crash session ID (-1 when none)
 	rec       *Recovery
 }
 
@@ -138,6 +162,10 @@ func Recover(stateDir string, cfg Config) (*Fleet, *Recovery, error) {
 	}
 
 	f := newFleet(cfg)
+	// Continue the crashed epoch's ID space: clients that submitted over
+	// the network still hold pre-crash session IDs, so re-admitted (and
+	// brand-new) sessions must never collide with them.
+	f.nextID = st.maxID + 1
 	if f.store != nil && !cfg.DisableStore {
 		entries := make([]KeyedEntry, 0, len(st.entries))
 		for _, k := range st.order {
@@ -167,9 +195,16 @@ func Recover(stateDir string, cfg Config) (*Fleet, *Recovery, error) {
 	// staged file, so when commitPersist renames it into place the new
 	// journal already vouches for every pending session — and until that
 	// rename, the old journal still does. No crash instant loses one.
+	recordOf := make(map[int]*RecoveredSession, len(st.rec.Records))
+	for i := range st.rec.Records {
+		recordOf[st.rec.Records[i].OldID] = &st.rec.Records[i]
+	}
 	for _, ps := range st.pending {
 		s := f.submitRecovered(ps.spec, ps.attempt)
 		st.rec.Requeued = append(st.rec.Requeued, s)
+		if r := recordOf[ps.oldID]; r != nil {
+			r.Session = s
+		}
 		if ps.inFlight {
 			st.rec.RequeuedInFlight++
 		} else {
@@ -278,11 +313,16 @@ func readState(dir string) (*recoveredState, error) {
 	}
 
 	type track struct {
-		spec     *SpecRecord
-		attempt  int
-		inFlight bool
-		terminal bool
-		known    bool
+		spec       *SpecRecord
+		attempt    int
+		inFlight   bool
+		terminal   bool
+		known      bool
+		state      string
+		errText    string
+		warm       bool
+		translated bool
+		report     *rpgcore.Report
 	}
 	sessions := make(map[int]*track)
 	var order []int
@@ -304,11 +344,22 @@ func readState(dir string) (*recoveredState, error) {
 				tr.inFlight, tr.terminal, tr.attempt = false, false, e.Attempt
 			case "session-done", "session-degraded":
 				tr.inFlight, tr.terminal = false, true
+				tr.state = e.State
+				tr.warm, tr.translated = e.Warm, e.Translated
+				if e.Report != nil {
+					tr.report = e.Report
+				}
+				if e.Attempt > tr.attempt {
+					tr.attempt = e.Attempt
+				}
 			case "session-failed":
 				// A SIGINT drain's cancellations never ran: they are
 				// interrupted, not finished, and resume re-admits them.
 				tr.inFlight = false
 				tr.terminal = e.Err != ErrCanceled.Error()
+				if tr.terminal {
+					tr.state, tr.errText = e.State, e.Err
+				}
 			}
 		}
 		if e.Seq <= watermark {
@@ -337,24 +388,37 @@ func readState(dir string) (*recoveredState, error) {
 
 	sort.Ints(order)
 	st.rec.Sessions = len(order)
+	st.maxID = -1
+	if n := len(order); n > 0 {
+		st.maxID = order[n-1]
+	}
 	for _, id := range order {
 		tr := sessions[id]
-		if tr.terminal {
+		if tr.terminal || !tr.known || tr.spec == nil {
+			// Finished before the crash — or damage swallowed the queued
+			// record, leaving nothing to re-admit.
 			st.rec.Terminal++
+			state := tr.state
+			if state == "" {
+				state = Failed.String()
+			}
+			st.rec.Records = append(st.rec.Records, RecoveredSession{
+				OldID: id, State: state, Err: tr.errText,
+				Warm: tr.warm, Translated: tr.translated,
+				Attempt: tr.attempt, Report: tr.report,
+			})
 			continue
 		}
-		if !tr.known || tr.spec == nil {
-			// Damage swallowed the queued record; nothing to re-admit.
-			st.rec.Terminal++
-			continue
-		}
-		ps := pendingSession{oldID: id, spec: tr.spec.spec(), attempt: tr.attempt, inFlight: tr.inFlight}
+		ps := pendingSession{oldID: id, spec: tr.spec.Spec(), attempt: tr.attempt, inFlight: tr.inFlight}
 		if tr.inFlight {
 			// The crash killed the attempt mid-run: the next attempt goes
 			// cold with a derived seed, like any failed attempt.
 			ps.attempt++
 		}
 		st.pending = append(st.pending, ps)
+		st.rec.Records = append(st.rec.Records, RecoveredSession{
+			OldID: id, State: Queued.String(), Attempt: ps.attempt,
+		})
 	}
 	return st, nil
 }

@@ -1,0 +1,403 @@
+// Package fleetclient is the thin consumer side of the fleetd HTTP API:
+// submit specs, poll sessions, fetch results, read the store, and follow
+// the journal event stream. Transient failures (connection errors and
+// 502/503/504) retry with capped exponential backoff; backpressure (429)
+// surfaces immediately as *Overloaded carrying the daemon's Retry-After,
+// because backing off longer than the server asked is the caller's policy
+// decision, not the transport's.
+package fleetclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"rpg2/internal/fleet"
+	"rpg2/internal/fleetd"
+)
+
+// Config points a client at a daemon. Only BaseURL is required.
+type Config struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8047".
+	BaseURL string
+	// HTTP overrides the transport (default http.DefaultClient).
+	HTTP *http.Client
+	// MaxRetries bounds transparent retries of transient failures per
+	// request (default 4; negative disables retry).
+	MaxRetries int
+	// RetryBase and RetryCap shape the exponential backoff between
+	// retries: attempt n waits RetryBase·2^(n-1), capped at RetryCap
+	// (defaults 50ms and 1s).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// PollInterval is Wait's sleep between status polls (default 25ms).
+	PollInterval time.Duration
+}
+
+// Client calls one daemon. Safe for concurrent use.
+type Client struct {
+	cfg Config
+}
+
+// New builds a client; zero-value config fields get defaults.
+func New(cfg Config) *Client {
+	if cfg.HTTP == nil {
+		cfg.HTTP = http.DefaultClient
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 4
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 50 * time.Millisecond
+	}
+	if cfg.RetryCap <= 0 {
+		cfg.RetryCap = time.Second
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 25 * time.Millisecond
+	}
+	return &Client{cfg: cfg}
+}
+
+// Overloaded is a backpressure rejection: the daemon returned 429 and
+// asked the caller to come back after RetryAfter.
+type Overloaded struct {
+	RetryAfter time.Duration
+	Message    string
+}
+
+func (e *Overloaded) Error() string {
+	return fmt.Sprintf("fleetd: overloaded (retry after %s): %s", e.RetryAfter, e.Message)
+}
+
+// APIError is any other non-2xx response.
+type APIError struct {
+	Code    int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("fleetd: HTTP %d: %s", e.Code, e.Message)
+}
+
+// ErrNotFound matches 404 responses via errors.Is.
+var ErrNotFound = errors.New("fleetd: not found")
+
+// Is makes errors.Is(err, ErrNotFound) work on 404 APIErrors.
+func (e *APIError) Is(target error) bool {
+	return target == ErrNotFound && e.Code == http.StatusNotFound
+}
+
+// transientCode reports response codes worth retrying: the daemon (or a
+// proxy in front of it) was unreachable or mid-restart, not wrong.
+func transientCode(code int) bool {
+	return code == http.StatusBadGateway ||
+		code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
+}
+
+// backoff sleeps out attempt n's capped exponential wait, honouring ctx.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	d := c.cfg.RetryBase << (attempt - 1)
+	if d > c.cfg.RetryCap || d <= 0 {
+		d = c.cfg.RetryCap
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// decodeErr extracts the {"error": ...} body of a non-2xx response.
+func decodeErr(resp *http.Response) string {
+	var ae struct {
+		Error string `json:"error"`
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(body, &ae) == nil && ae.Error != "" {
+		return ae.Error
+	}
+	return resp.Status
+}
+
+// do runs one request with transient-failure retry, decoding a 2xx (or,
+// when acceptAccepted, a 202) JSON body into out. Request bodies are byte
+// slices so every retry resends the same payload.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any, acceptAccepted bool) (int, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if attempt > c.cfg.MaxRetries {
+				return 0, lastErr
+			}
+			if err := c.backoff(ctx, attempt); err != nil {
+				return 0, err
+			}
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, rd)
+		if err != nil {
+			return 0, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.cfg.HTTP.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return 0, ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		code := resp.StatusCode
+		switch {
+		case code == http.StatusOK || (code == http.StatusAccepted && acceptAccepted):
+			if out != nil {
+				err = json.NewDecoder(resp.Body).Decode(out)
+			}
+			resp.Body.Close()
+			if err != nil {
+				return 0, fmt.Errorf("fleetd: decode response: %w", err)
+			}
+			return code, nil
+		case code == http.StatusTooManyRequests:
+			msg := decodeErr(resp)
+			resp.Body.Close()
+			after := time.Second
+			if raw := resp.Header.Get("Retry-After"); raw != "" {
+				if secs, err := strconv.Atoi(raw); err == nil && secs > 0 {
+					after = time.Duration(secs) * time.Second
+				}
+			}
+			return 0, &Overloaded{RetryAfter: after, Message: msg}
+		case transientCode(code):
+			lastErr = &APIError{Code: code, Message: decodeErr(resp)}
+			resp.Body.Close()
+			continue
+		default:
+			msg := decodeErr(resp)
+			resp.Body.Close()
+			return 0, &APIError{Code: code, Message: msg}
+		}
+	}
+}
+
+// Submit sends one spec (the fleet's WAL wire form) and returns the
+// daemon-assigned session ID. A backpressure rejection returns
+// *Overloaded; the submission was not admitted.
+func (c *Client) Submit(ctx context.Context, spec fleet.SpecRecord) (int, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return 0, err
+	}
+	var resp fleetd.SubmitResponse
+	if _, err := c.do(ctx, http.MethodPost, "/v1/sessions", body, &resp, true); err != nil {
+		return 0, err
+	}
+	return resp.ID, nil
+}
+
+// Status polls one session.
+func (c *Client) Status(ctx context.Context, id int) (fleetd.Status, error) {
+	var st fleetd.Status
+	_, err := c.do(ctx, http.MethodGet, "/v1/sessions/"+strconv.Itoa(id), nil, &st, false)
+	return st, err
+}
+
+// Result fetches a session's result. ready is false (with an empty
+// Outcome) while the session is still running.
+func (c *Client) Result(ctx context.Context, id int) (out fleetd.Outcome, ready bool, err error) {
+	path := "/v1/sessions/" + strconv.Itoa(id) + "/result"
+	var raw json.RawMessage
+	code, err := c.do(ctx, http.MethodGet, path, nil, &raw, true)
+	if err != nil {
+		return fleetd.Outcome{}, false, err
+	}
+	if code == http.StatusAccepted {
+		return fleetd.Outcome{}, false, nil
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return fleetd.Outcome{}, false, err
+	}
+	return out, true, nil
+}
+
+// Wait polls until the session reaches a terminal state, then fetches its
+// result. It is restart-tolerant by design: poll errors (the daemon dying
+// and coming back with -resume) are absorbed and polling continues until
+// ctx expires — the crash-recovery test drives a kill -9 straight through
+// this loop.
+func (c *Client) Wait(ctx context.Context, id int) (fleetd.Outcome, error) {
+	t := time.NewTicker(c.cfg.PollInterval)
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err == nil && st.Terminal {
+			out, ready, rerr := c.Result(ctx, id)
+			if rerr == nil && ready {
+				return out, nil
+			}
+			// Terminal a moment ago but unfetchable now (daemon mid-
+			// restart): fall through and poll again.
+		} else if err != nil {
+			// A session the daemon no longer knows will never resolve;
+			// everything else (including connection errors while it
+			// restarts) is worth out-waiting.
+			if errors.Is(err, ErrNotFound) || ctx.Err() != nil {
+				return fleetd.Outcome{}, err
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fleetd.Outcome{}, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Metrics fetches the fleet-wide snapshot.
+func (c *Client) Metrics(ctx context.Context) (fleet.Snapshot, error) {
+	var snap fleet.Snapshot
+	_, err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &snap, false)
+	return snap, err
+}
+
+// LookupResult is a store peek: the entry, and for translated lookups the
+// sibling key it would seed from.
+type LookupResult struct {
+	Key    fleet.Key   `json:"key"`
+	Entry  fleet.Entry `json:"entry"`
+	Source *fleet.Key  `json:"source,omitempty"`
+}
+
+func storeQuery(k fleet.Key) string {
+	q := url.Values{}
+	q.Set("bench", k.Bench)
+	if k.Input != "" {
+		q.Set("input", k.Input)
+	}
+	if k.Machine != "" {
+		q.Set("machine", k.Machine)
+	}
+	return q.Encode()
+}
+
+// Lookup peeks the profile store (read-only; consumes no reuse budget).
+// A miss reports ErrNotFound.
+func (c *Client) Lookup(ctx context.Context, k fleet.Key) (LookupResult, error) {
+	var lr LookupResult
+	_, err := c.do(ctx, http.MethodGet, "/v1/store/lookup?"+storeQuery(k), nil, &lr, false)
+	return lr, err
+}
+
+// LookupTranslated peeks the cross-machine tier: the sibling entry a
+// translated warm start would seed from. A miss reports ErrNotFound.
+func (c *Client) LookupTranslated(ctx context.Context, k fleet.Key) (LookupResult, error) {
+	var lr LookupResult
+	_, err := c.do(ctx, http.MethodGet, "/v1/store/translated?"+storeQuery(k), nil, &lr, false)
+	return lr, err
+}
+
+// Stream follows the daemon's journal from the cursor (events with
+// Seq > since; -1 for everything), calling fn for each event in order. A
+// dropped connection resumes from the last delivered Seq, so fn sees no
+// gap and no duplicate across reconnects. Stream returns nil when the
+// daemon drains and ends the stream cleanly, fn's error if fn fails, or
+// ctx's error.
+func (c *Client) Stream(ctx context.Context, since int, fn func(fleet.Event) error) error {
+	cursor := since
+	attempt := 0
+	for {
+		clean, err := c.streamOnce(ctx, &cursor, fn)
+		switch {
+		case err != nil && ctx.Err() == nil && !isStreamAbort(err):
+			// Transport failure: back off and resume from the cursor.
+			attempt++
+			if attempt > c.cfg.MaxRetries {
+				return err
+			}
+			if berr := c.backoff(ctx, attempt); berr != nil {
+				return berr
+			}
+			continue
+		case err != nil:
+			return err
+		case clean:
+			return nil
+		default:
+			// Delivered events then hit EOF without a drain marker — the
+			// connection died mid-stream. Resume; progress resets retries.
+			attempt = 0
+		}
+	}
+}
+
+// errStreamAbort wraps fn's failure so Stream does not retry it.
+type errStreamAbort struct{ err error }
+
+func (e *errStreamAbort) Error() string { return e.err.Error() }
+func (e *errStreamAbort) Unwrap() error { return e.err }
+
+func isStreamAbort(err error) bool {
+	var ab *errStreamAbort
+	return errors.As(err, &ab)
+}
+
+// streamOnce runs one connection of the event stream. clean is true when
+// the server ended the stream deliberately (drain): the response body
+// reached EOF after a complete final event.
+func (c *Client) streamOnce(ctx context.Context, cursor *int, fn func(fleet.Event) error) (clean bool, err error) {
+	path := "/v1/events?since=" + strconv.Itoa(*cursor)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+path, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.cfg.HTTP.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, &APIError{Code: resp.StatusCode, Message: decodeErr(resp)}
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var e fleet.Event
+		if derr := dec.Decode(&e); derr != nil {
+			if errors.Is(derr, io.EOF) {
+				return true, nil
+			}
+			return false, derr
+		}
+		if e.Seq > *cursor {
+			if ferr := fn(e); ferr != nil {
+				return false, &errStreamAbort{ferr}
+			}
+			*cursor = e.Seq
+		}
+	}
+}
+
+// Health reports the daemon's liveness state ("ok" or "draining").
+func (c *Client) Health(ctx context.Context) (string, error) {
+	var h struct {
+		Status string `json:"status"`
+	}
+	_, err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &h, false)
+	return h.Status, err
+}

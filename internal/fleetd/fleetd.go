@@ -1,0 +1,486 @@
+// Package fleetd puts the fleet behind a network: an HTTP/JSON front end
+// wrapping fleet.Fleet, so profiles can be captured at the edge, POSTed to
+// a central curator, and served back — the client/server shape production
+// PGO pipelines use once cheap always-on collection has to flow through a
+// shared serving tier. The daemon owns one Fleet (fresh or recovered from
+// a PR 4 state dir), exposes session submission, polling, result fetch,
+// read-only store lookups, a metrics snapshot, and a resumable journal
+// event stream, and turns the fleet's backpressure rejections into
+// HTTP 429 with a throughput-derived Retry-After.
+//
+// The wire format for specs is fleet.SpecRecord — the same JSON-safe
+// projection the WAL persists — so a spec means exactly the same thing
+// submitted over the network, replayed from a crash, or run in-process.
+package fleetd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"rpg2/internal/baselines"
+	"rpg2/internal/fleet"
+	rpgcore "rpg2/internal/rpg2"
+)
+
+// Config tunes a daemon. Fleet is passed through to fleet.New (or
+// fleet.Recover when Resume finds recoverable state), so all persistence
+// and backpressure knobs live there.
+type Config struct {
+	// Fleet is the wrapped fleet's configuration.
+	Fleet fleet.Config
+	// Resume recovers Fleet.StateDir's interrupted run (when one exists)
+	// instead of starting fresh; sessions the crash left unfinished are
+	// re-admitted and stay pollable under their pre-crash IDs.
+	Resume bool
+	// RetryAfterCap bounds the Retry-After header on 429 responses, in
+	// seconds (default 30).
+	RetryAfterCap int
+}
+
+// Server is the daemon: one fleet behind an http.Handler. Create with New,
+// serve Handler(), stop with Drain.
+type Server struct {
+	fleet    *fleet.Fleet
+	recovery *fleet.Recovery
+	mux      *http.ServeMux
+	retryCap int
+
+	draining  atomic.Bool
+	drainOnce sync.Once
+	drainDone chan struct{}
+
+	mu       sync.Mutex
+	sessions map[int]registered
+}
+
+// registered is one pollable session ID: a live handle, or the distilled
+// pre-crash record of a session that finished before a restart.
+type registered struct {
+	live *fleet.Session
+	rec  *fleet.RecoveredSession
+}
+
+// New starts a daemon over a fresh or recovered fleet. With cfg.Resume and
+// a state dir holding an interrupted run, the fleet is rebuilt via
+// fleet.Recover: terminal pre-crash sessions keep answering polls from
+// their journaled outcomes, unfinished ones are re-admitted and tracked
+// live under both their old and new IDs.
+func New(cfg Config) (*Server, error) {
+	s := &Server{
+		retryCap:  cfg.RetryAfterCap,
+		drainDone: make(chan struct{}),
+		sessions:  make(map[int]registered),
+	}
+	if s.retryCap <= 0 {
+		s.retryCap = 30
+	}
+	if cfg.Resume && cfg.Fleet.StateDir != "" && fleet.PendingSessions(cfg.Fleet.StateDir) > 0 {
+		f, rec, err := fleet.Recover(cfg.Fleet.StateDir, cfg.Fleet)
+		if err != nil {
+			return nil, err
+		}
+		s.fleet, s.recovery = f, rec
+		for i := range rec.Records {
+			r := &rec.Records[i]
+			if r.Session != nil {
+				s.sessions[r.OldID] = registered{live: r.Session}
+				s.sessions[r.Session.ID] = registered{live: r.Session}
+			} else {
+				s.sessions[r.OldID] = registered{rec: r}
+			}
+		}
+	} else {
+		s.fleet = fleet.New(cfg.Fleet)
+	}
+	s.routes()
+	return s, nil
+}
+
+// Fleet exposes the wrapped fleet (tests and embedders).
+func (s *Server) Fleet() *fleet.Fleet { return s.fleet }
+
+// Recovery reports what a resumed daemon salvaged (nil for fresh starts).
+func (s *Server) Recovery() *fleet.Recovery { return s.recovery }
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// DrainStats reports what a graceful shutdown did.
+type DrainStats struct {
+	// Cancelled is how many queued sessions were failed with ErrCanceled
+	// before they ran; in-flight sessions finished normally.
+	Cancelled int `json:"cancelled"`
+}
+
+// Drain is the graceful shutdown: new submissions get 503, queued
+// sessions journal as cancelled, in-flight sessions finish, the WAL
+// flushes, and event streams end after delivering everything. Idempotent;
+// concurrent calls all block until the first finishes.
+func (s *Server) Drain() DrainStats {
+	var st DrainStats
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		st.Cancelled = s.fleet.CancelQueued()
+		s.fleet.Drain()
+		s.fleet.Close()
+		close(s.drainDone)
+	})
+	<-s.drainDone
+	return st
+}
+
+// Status is the poll endpoint's view of one session.
+type Status struct {
+	ID         int    `json:"id"`
+	State      string `json:"state"`
+	Terminal   bool   `json:"terminal"`
+	Warm       bool   `json:"warm,omitempty"`
+	Translated bool   `json:"translated,omitempty"`
+	Attempt    int    `json:"attempt,omitempty"`
+	Err        string `json:"error,omitempty"`
+}
+
+// Outcome is a terminal session's result — deliberately free of
+// wall-clock times and fleet-assigned IDs, so the same spec and seed
+// produce byte-identical Outcome JSON whether the session ran in-process
+// or through the daemon (the round-trip determinism the tests pin).
+type Outcome struct {
+	State       string                  `json:"state"`
+	Warm        bool                    `json:"warm,omitempty"`
+	Translated  bool                    `json:"translated,omitempty"`
+	Attempt     int                     `json:"attempt,omitempty"`
+	Err         string                  `json:"error,omitempty"`
+	Report      *rpgcore.Report         `json:"report,omitempty"`
+	Measurement *rpgcore.Measurement    `json:"measurement,omitempty"`
+	Sweep       *baselines.Sweep        `json:"sweep,omitempty"`
+	Candidates  []int                   `json:"candidates,omitempty"`
+	Distance    int                     `json:"distance,omitempty"`
+	Tail        []rpgcore.TimelinePoint `json:"tail,omitempty"`
+}
+
+// OutcomeOf distils a session's terminal result into the wire form.
+func OutcomeOf(sess *fleet.Session) Outcome {
+	o := Outcome{
+		State:       sess.State().String(),
+		Warm:        sess.Warm(),
+		Translated:  sess.Translated(),
+		Attempt:     sess.Attempt(),
+		Report:      sess.Report(),
+		Measurement: sess.Measurement(),
+		Sweep:       sess.SweepResult(),
+		Candidates:  sess.Candidates(),
+		Distance:    sess.Distance(),
+		Tail:        sess.Tail(),
+	}
+	if err := sess.Err(); err != nil {
+		o.Err = err.Error()
+	}
+	return o
+}
+
+// SubmitResponse acknowledges an accepted session.
+type SubmitResponse struct {
+	ID    int    `json:"id"`
+	State string `json:"state"`
+}
+
+// apiError is every non-2xx body: one JSON object naming what went wrong.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/store/lookup", s.handleLookup)
+	s.mux.HandleFunc("GET /v1/store/translated", s.handleTranslated)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	state := "ok"
+	if s.draining.Load() {
+		state = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": state})
+}
+
+// retryAfter estimates how long a rejected submitter should wait before
+// trying again: the queue depth that tripped the cap, spread over the
+// worker pool, at the fleet's observed median session latency — clamped
+// to [1, RetryAfterCap] seconds so the header is always a sane integer.
+func (s *Server) retryAfter(depth int) int {
+	snap := s.fleet.Snapshot()
+	p50 := snap.P50Wall
+	if p50 <= 0 {
+		p50 = 0.1
+	}
+	workers := snap.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	secs := int(math.Ceil(float64(depth) / float64(workers) * p50))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > s.retryCap {
+		secs = s.retryCap
+	}
+	return secs
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "daemon is draining")
+		return
+	}
+	var rec fleet.SpecRecord
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		writeErr(w, http.StatusBadRequest, "decode spec: %v", err)
+		return
+	}
+	if rec.Bench == "" {
+		writeErr(w, http.StatusBadRequest, "spec needs a bench")
+		return
+	}
+	if rec.Kind > uint8(fleet.APTGETJob) {
+		writeErr(w, http.StatusBadRequest, "unknown job kind %d", rec.Kind)
+		return
+	}
+	sess, err := s.fleet.Submit(rec.Spec())
+	var over *fleet.OverloadError
+	switch {
+	case errors.As(err, &over):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter(over.Depth)))
+		writeErr(w, http.StatusTooManyRequests, "%v", over)
+		return
+	case errors.Is(err, fleet.ErrClosed):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	s.sessions[sess.ID] = registered{live: sess}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: sess.ID, State: sess.State().String()})
+}
+
+// lookup resolves a session ID to its registered handle or record.
+func (s *Server) lookup(id int) (registered, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reg, ok := s.sessions[id]
+	return reg, ok
+}
+
+func sessionID(r *http.Request) (int, error) {
+	return strconv.Atoi(r.PathValue("id"))
+}
+
+func statusOf(id int, reg registered) Status {
+	if reg.live != nil {
+		st := reg.live.State()
+		out := Status{
+			ID: id, State: st.String(), Terminal: st.Terminal(),
+			Warm: reg.live.Warm(), Translated: reg.live.Translated(),
+			Attempt: reg.live.Attempt(),
+		}
+		if err := reg.live.Err(); err != nil {
+			out.Err = err.Error()
+		}
+		return out
+	}
+	return Status{
+		ID: id, State: reg.rec.State, Terminal: true,
+		Warm: reg.rec.Warm, Translated: reg.rec.Translated,
+		Attempt: reg.rec.Attempt, Err: reg.rec.Err,
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id, err := sessionID(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad session id")
+		return
+	}
+	reg, ok := s.lookup(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no session %d", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, statusOf(id, reg))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id, err := sessionID(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad session id")
+		return
+	}
+	reg, ok := s.lookup(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no session %d", id)
+		return
+	}
+	if reg.live != nil {
+		if !reg.live.State().Terminal() {
+			// Not done yet: hand back the poll view instead of a result,
+			// with 202 so clients can tell "keep waiting" from an error.
+			writeJSON(w, http.StatusAccepted, statusOf(id, reg))
+			return
+		}
+		writeJSON(w, http.StatusOK, OutcomeOf(reg.live))
+		return
+	}
+	writeJSON(w, http.StatusOK, Outcome{
+		State: reg.rec.State, Warm: reg.rec.Warm, Translated: reg.rec.Translated,
+		Attempt: reg.rec.Attempt, Err: reg.rec.Err, Report: reg.rec.Report,
+	})
+}
+
+// storeKey decodes a lookup key from the query string. An empty machine
+// means the daemon's own: store entries are keyed by the effective
+// machine name, so defaulting here lets clients peek without knowing
+// which machine the daemon was started on.
+func (s *Server) storeKey(r *http.Request) fleet.Key {
+	q := r.URL.Query()
+	k := fleet.Key{
+		Bench:   q.Get("bench"),
+		Input:   q.Get("input"),
+		Machine: q.Get("machine"),
+	}
+	if k.Machine == "" {
+		k.Machine = s.fleet.Machine().Name
+	}
+	return k
+}
+
+// lookupResponse frames a store peek: the entry, and (for translated
+// lookups) the sibling key it would seed from.
+type lookupResponse struct {
+	Key    fleet.Key   `json:"key"`
+	Entry  fleet.Entry `json:"entry"`
+	Source *fleet.Key  `json:"source,omitempty"`
+}
+
+func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	st := s.fleet.Store()
+	if st == nil {
+		writeErr(w, http.StatusNotFound, "profile store disabled")
+		return
+	}
+	k := s.storeKey(r)
+	if k.Bench == "" {
+		writeErr(w, http.StatusBadRequest, "lookup needs a bench")
+		return
+	}
+	e, ok := st.Peek(k)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no entry for %+v", k)
+		return
+	}
+	writeJSON(w, http.StatusOK, lookupResponse{Key: k, Entry: e})
+}
+
+func (s *Server) handleTranslated(w http.ResponseWriter, r *http.Request) {
+	st := s.fleet.Store()
+	if st == nil {
+		writeErr(w, http.StatusNotFound, "profile store disabled")
+		return
+	}
+	k := s.storeKey(r)
+	if k.Bench == "" {
+		writeErr(w, http.StatusBadRequest, "lookup needs a bench")
+		return
+	}
+	e, src, ok := st.PeekTranslated(k)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no sibling entry for %+v", k)
+		return
+	}
+	writeJSON(w, http.StatusOK, lookupResponse{Key: k, Entry: e, Source: &src})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.fleet.Snapshot())
+}
+
+// handleEvents streams the journal as NDJSON from a sequence cursor
+// (?since=N streams events with Seq > N; default everything). The stream
+// stays open — new events flush as they land — until the client hangs up
+// or the daemon drains; a disconnected client resumes by passing the last
+// Seq it saw, and the dense Seq numbering guarantees no gap and no
+// duplicate across the reconnect.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	since := -1
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad since cursor %q", raw)
+			return
+		}
+		since = n
+	}
+	journal := s.fleet.Journal()
+	wake := journal.Watch()
+	defer journal.Unwatch(wake)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	cursor := since
+	emit := func() bool {
+		for _, e := range journal.EventsSince(cursor) {
+			if err := enc.Encode(e); err != nil {
+				return false
+			}
+			cursor = e.Seq
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	for {
+		if !emit() {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.drainDone:
+			// Drained: deliver whatever landed after the last scan, then
+			// end the stream so clients see a clean EOF.
+			emit()
+			return
+		case <-wake:
+		}
+	}
+}

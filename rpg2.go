@@ -32,6 +32,8 @@ import (
 	"rpg2/internal/experiments"
 	"rpg2/internal/faults"
 	"rpg2/internal/fleet"
+	"rpg2/internal/fleetclient"
+	"rpg2/internal/fleetd"
 	"rpg2/internal/graphs"
 	"rpg2/internal/machine"
 	"rpg2/internal/perf"
@@ -316,6 +318,76 @@ func RecoverFleet(stateDir string, cfg FleetConfig) (*Fleet, *FleetRecovery, err
 // what NewFleet refuses to discard unless FleetConfig.Overwrite is set.
 // A missing or empty state dir reports zero.
 func FleetPendingSessions(stateDir string) int { return fleet.PendingSessions(stateDir) }
+
+// ErrFleetOverloaded matches (via errors.Is) Fleet.Submit's backpressure
+// rejections when FleetConfig.MaxQueue or MaxTenantQueue is hit; the
+// concrete error is a *FleetOverloadError naming the tripped cap. The
+// daemon maps it to HTTP 429 with a Retry-After header.
+var ErrFleetOverloaded = fleet.ErrOverloaded
+
+// FleetOverloadError details a backpressure rejection: which scope
+// ("global" or "tenant") tripped, at what depth, against which cap.
+type FleetOverloadError = fleet.OverloadError
+
+// SessionRecord is the JSON-safe wire/WAL projection of a SessionSpec —
+// what the daemon's submit endpoint accepts and crash recovery replays.
+// Convert with RecordSpec and SessionRecord.Spec.
+type SessionRecord = fleet.SpecRecord
+
+// RecordSpec projects a SessionSpec into its wire/WAL form.
+func RecordSpec(spec SessionSpec) *SessionRecord { return fleet.RecordSpec(spec) }
+
+// FleetDaemonConfig tunes a fleet daemon: the wrapped fleet's config plus
+// resume and Retry-After policy.
+type FleetDaemonConfig = fleetd.Config
+
+// FleetDaemon is the networked fleet: one Fleet behind an HTTP/JSON API —
+// session submission with per-tenant backpressure, polling, result fetch,
+// read-only store lookups, a metrics snapshot, and a resumable NDJSON
+// journal stream. Serve its Handler and stop with Drain.
+type FleetDaemon = fleetd.Server
+
+// NewFleetDaemon starts a daemon over a fresh fleet — or, with
+// cfg.Resume, over a fleet recovered from cfg.Fleet.StateDir.
+func NewFleetDaemon(cfg FleetDaemonConfig) (*FleetDaemon, error) { return fleetd.New(cfg) }
+
+// SessionStatus is the daemon's poll view of one session.
+type SessionStatus = fleetd.Status
+
+// SessionOutcome is a terminal session's wire result — free of wall-clock
+// times and IDs, so the same spec and seed yield byte-identical JSON
+// in-process and through the daemon.
+type SessionOutcome = fleetd.Outcome
+
+// SessionOutcomeOf distils a fleet session's terminal result into the
+// wire form the daemon serves.
+func SessionOutcomeOf(s *FleetSession) SessionOutcome { return fleetd.OutcomeOf(s) }
+
+// FleetClientConfig points a client at a daemon (BaseURL required).
+type FleetClientConfig = fleetclient.Config
+
+// FleetClient is the thin consumer of a fleet daemon: submit, poll, wait,
+// fetch, store lookups, and the resumable event stream, with capped
+// exponential retry on transient failures.
+type FleetClient = fleetclient.Client
+
+// NewFleetClient builds a client; zero-value config fields get defaults.
+func NewFleetClient(cfg FleetClientConfig) *FleetClient { return fleetclient.New(cfg) }
+
+// FleetKey addresses one profile-store entry: (benchmark, input, machine).
+type FleetKey = fleet.Key
+
+// FleetLookupResult is a remote store lookup's answer; Source names the
+// sibling machine a translated hit was seeded from.
+type FleetLookupResult = fleetclient.LookupResult
+
+// FleetClientOverloaded is the client-side face of a 429 backpressure
+// rejection, carrying the daemon's Retry-After hint.
+type FleetClientOverloaded = fleetclient.Overloaded
+
+// ErrFleetNotFound matches (via errors.Is) a daemon 404 — unknown session
+// ID or a store lookup with no entry.
+var ErrFleetNotFound = fleetclient.ErrNotFound
 
 // FaultStage names an injection boundary inside the controller:
 // "profile" (sample collection), "rewrite" (the BOLT pass), or "osr"
