@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"rpg2/internal/perf"
 	rpgcore "rpg2/internal/rpg2"
 	"rpg2/internal/stats"
+	"rpg2/internal/store"
 	"rpg2/internal/workloads"
 )
 
@@ -374,6 +376,69 @@ func BenchmarkAblationKernelPlacement(b *testing.B) {
 	}
 }
 
+// ---- store contention ----------------------------------------------------
+
+// storeOpsPerSecond drives the warm-start mix (lookup; commit on miss;
+// occasional refund) against st from `workers` goroutines over a shared
+// key population, and reports aggregate operations per wall-clock second.
+// The same mix backs BenchmarkStoreContention and the trajectory point.
+func storeOpsPerSecond(st store.Store, workers, opsPerWorker int) float64 {
+	keys := make([]store.Key, 64)
+	for i := range keys {
+		keys[i] = store.Key{
+			Bench:   fmt.Sprintf("bench%d", i%16),
+			Input:   fmt.Sprintf("input%d", i/16),
+			Machine: "clx",
+		}
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				k := keys[(w*31+i)%len(keys)]
+				_, gen, ok := st.Lookup(k)
+				if !ok {
+					st.Commit(k, store.Entry{Distance: i%64 + 1})
+					continue
+				}
+				if i%64 == 0 {
+					st.Refund(k, gen)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return float64(workers*opsPerWorker) / time.Since(start).Seconds()
+}
+
+// BenchmarkStoreContention contrasts the single-mutex Memory store with the
+// 8-way Sharded store under the same warm-start mix at 8 concurrent
+// workers — the serialization the sharding exists to remove. The
+// sharded/memory wall-clock ratio is the headline metric and also lands in
+// the BENCH_fleet.json trajectory via BenchmarkFleetTrajectory.
+//
+// The ratio is only meaningful with real parallelism: on a single-CPU host
+// the 8 workers serialize no matter how the locks are split, so the ratio
+// degenerates to the shard-routing overhead (below 1.0). The cpus metric is
+// reported alongside so a recorded ratio is always interpretable.
+func BenchmarkStoreContention(b *testing.B) {
+	const workers, ops = 8, 200_000
+	var mem, shd float64
+	for i := 0; i < b.N; i++ {
+		mem = storeOpsPerSecond(store.NewMemory(store.Config{}), workers, ops)
+		shd = storeOpsPerSecond(store.NewSharded(store.Config{}, 8), workers, ops)
+	}
+	fmt.Fprintf(os.Stderr, "\n===== %s =====\nmemory %.0f ops/s, sharded(8) %.0f ops/s, speedup %.2fx on %d CPUs\n",
+		b.Name(), mem, shd, shd/mem, runtime.NumCPU())
+	b.ReportMetric(mem/1e6, "memory-Mops/s")
+	b.ReportMetric(shd/1e6, "sharded-Mops/s")
+	b.ReportMetric(shd/mem, "shard-speedup")
+	b.ReportMetric(float64(runtime.NumCPU()), "cpus")
+}
+
 // ---- helpers ------------------------------------------------------------
 
 func mustOptimize(b *testing.B, m machine.Machine, bench, input string, cfg rpg2.Config) *rpgcore.Report {
@@ -488,6 +553,14 @@ type trajectoryPoint struct {
 	SessionsPerSecond float64 `json:"sessions_per_second"`
 	Instructions      uint64  `json:"instructions"`
 	NsPerInstruction  float64 `json:"ns_per_instruction"`
+	// Store contention: the BenchmarkStoreContention mix at 8 workers, so
+	// the sharded/memory ratio accumulates a history alongside throughput.
+	// CPUs records the host's parallelism — on a single-CPU host the ratio
+	// degenerates to routing overhead and must be read accordingly.
+	StoreMemoryOps    float64 `json:"store_memory_ops_per_second,omitempty"`
+	StoreShardedOps   float64 `json:"store_sharded_ops_per_second,omitempty"`
+	StoreShardSpeedup float64 `json:"store_shard_speedup,omitempty"`
+	CPUs              int     `json:"cpus,omitempty"`
 }
 
 // BenchmarkFleetTrajectory measures the two throughput numbers the
@@ -568,6 +641,14 @@ func measureTrajectory(b *testing.B) trajectoryPoint {
 	pt.WallSeconds = wall
 	if wall > 0 {
 		pt.SessionsPerSecond = float64(sessions) / wall
+	}
+
+	// Store contention floor, same mix as BenchmarkStoreContention.
+	pt.CPUs = runtime.NumCPU()
+	pt.StoreMemoryOps = storeOpsPerSecond(store.NewMemory(store.Config{}), 8, 200_000)
+	pt.StoreShardedOps = storeOpsPerSecond(store.NewSharded(store.Config{}, 8), 8, 200_000)
+	if pt.StoreMemoryOps > 0 {
+		pt.StoreShardSpeedup = pt.StoreShardedOps / pt.StoreMemoryOps
 	}
 	return pt
 }

@@ -33,6 +33,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "fleet worker pool size (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 0, "override the root seed (default per configuration)")
 	warm := flag.Bool("warm", false, "let Figure 7's RPG² trials warm-start from the profile store")
+	shards := flag.Int("store-shards", 0, "shard the fleet's profile store across this many locks (0/1 = single-shard store; results are byte-identical either way)")
 	translate := flag.Bool("translate", false, "run the cross-machine transplant study (cold vs warm vs translated seeding)")
 	benches := flag.String("bench", "", "comma-separated benchmark subset for figures 7/8 and table 3")
 	journal := flag.String("journal", "", "write the fleet event journal as JSON lines to this file (- for stdout)")
@@ -56,6 +57,7 @@ func main() {
 		opts.Seed = *seed
 	}
 	opts.WarmStart = *warm
+	opts.StoreShards = *shards
 
 	var benchList []string
 	if *benches != "" {

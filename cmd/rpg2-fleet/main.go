@@ -54,6 +54,7 @@ type options struct {
 	metrics   string
 	nostore   bool
 	translate bool
+	shards    int
 
 	// Admission & resilience knobs.
 	faults    float64
@@ -82,6 +83,7 @@ func main() {
 	flag.StringVar(&o.metrics, "metrics", "", "also write the metrics snapshot as JSON to this file (- for stdout)")
 	flag.BoolVar(&o.nostore, "no-store", false, "disable the profile store (every session cold)")
 	flag.BoolVar(&o.translate, "translate", false, "on a store miss, seed from a sibling machine's profile with a latency-scaled distance")
+	flag.IntVar(&o.shards, "store-shards", 0, "shard the profile store by (bench, input) hash across this many locks (0/1 = single-shard store, byte-identical to the unsharded fleet)")
 	flag.Float64Var(&o.faults, "faults", 0, "deterministic fault-injection rate per controller stage (0 = off)")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault injector seed")
 	flag.IntVar(&o.retries, "retries", 0, "retry budget for failed/rolled-back sessions (0 = no retry lane)")
@@ -172,6 +174,7 @@ func run(o options) error {
 		Workers:          o.workers,
 		RunSeconds:       o.seconds,
 		DisableStore:     o.nostore,
+		StoreShards:      o.shards,
 		Translate:        o.translate,
 		Quota:            o.quota,
 		MaxRetries:       o.retries,

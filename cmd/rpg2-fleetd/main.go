@@ -42,6 +42,7 @@ type options struct {
 
 	nostore   bool
 	translate bool
+	shards    int
 
 	quota       int
 	tenantQuota int
@@ -67,6 +68,7 @@ func main() {
 	flag.Float64Var(&o.seconds, "seconds", 2, "default simulated post-optimization run budget per session")
 	flag.BoolVar(&o.nostore, "no-store", false, "disable the profile store (every session cold)")
 	flag.BoolVar(&o.translate, "translate", false, "on a store miss, seed from a sibling machine's profile with a latency-scaled distance")
+	flag.IntVar(&o.shards, "store-shards", 0, "shard the profile store by (bench, input) hash across this many locks (0/1 = single-shard store, byte-identical to the unsharded fleet)")
 	flag.IntVar(&o.quota, "quota", 0, "max in-flight sessions per (benchmark, input) pair (0 = unlimited)")
 	flag.IntVar(&o.tenantQuota, "tenant-quota", 0, "max in-flight sessions per tenant (0 = unlimited)")
 	flag.IntVar(&o.maxQueue, "max-queue", 0, "max waiting sessions before submissions get 429 (0 = unbounded)")
@@ -113,6 +115,7 @@ func run(o options) error {
 			Workers:          o.workers,
 			RunSeconds:       o.seconds,
 			DisableStore:     o.nostore,
+			StoreShards:      o.shards,
 			Translate:        o.translate,
 			Quota:            o.quota,
 			TenantQuota:      o.tenantQuota,

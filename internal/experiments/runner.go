@@ -48,6 +48,11 @@ type Options struct {
 	Trials int
 	// Parallelism bounds concurrent fleet sessions (default: GOMAXPROCS).
 	Parallelism int
+	// StoreShards shards the fleet's profile store by (bench, input) hash
+	// across this many locks (0/1 = the single-shard store). Figure 7 is
+	// byte-identical at any shard count — the store's policy decisions
+	// depend on keys, not layout.
+	StoreShards int
 	// Sweep configures offline distance sweeps.
 	Sweep baselines.SweepConfig
 	// Seed is the root seed for scheme randomness.
@@ -148,9 +153,10 @@ func NewRunner(opts Options) *Runner {
 		fm = opts.Machines[0]
 	}
 	f := fleet.New(fleet.Config{
-		Machine:    fm,
-		Workers:    opts.Parallelism,
-		RunSeconds: opts.RunSeconds,
+		Machine:     fm,
+		Workers:     opts.Parallelism,
+		RunSeconds:  opts.RunSeconds,
+		StoreShards: opts.StoreShards,
 	})
 	return &Runner{
 		opts:    opts,

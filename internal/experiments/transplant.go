@@ -207,7 +207,7 @@ func (r *Runner) TableTransplant(benches []string) (*TransplantResult, error) {
 				sibs = append(sibs, ke)
 			}
 		}
-		st.Restore(sibs)
+		st.Import(sibs)
 		st.Freeze()
 		tf := fleet.New(fleet.Config{
 			Machine: m, Workers: r.opts.Parallelism, RunSeconds: r.opts.RunSeconds,

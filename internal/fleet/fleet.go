@@ -335,12 +335,21 @@ type Config struct {
 	Session rpgcore.Config
 	// Store shares a profile store across fleets; nil creates a private
 	// one (unless DisableStore).
-	Store *Store
+	Store Store
 	// Builds is the workload build cache sessions construct targets
 	// from; nil uses the process-wide shared cache.
 	Builds *workloads.BuildCache
 	// StoreConfig configures the private store when Store is nil.
 	StoreConfig StoreConfig
+	// StoreShards shards the private store by an FNV hash of
+	// (bench, input) across this many independently locked shards
+	// (store.Sharded), splitting lookup/commit contention across workers;
+	// 0 or 1 keeps the single-mutex store.Memory path byte-identical to
+	// the pre-sharding fleet. The shard key excludes Machine, so
+	// translation lookups never cross shards. Ignored when Store is set
+	// or DisableStore is on. When persisting, a sharded store snapshots
+	// as per-shard shard-<i>.wal files sealed by a manifest.wal.
+	StoreShards int
 	// DisableStore turns off profile reuse: every session runs cold.
 	DisableStore bool
 	// WarmProfileSeconds is the shortened PEBS window for store-seeded
@@ -491,7 +500,7 @@ func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
 // Fleet is the long-lived service: submit sessions, drain, snapshot.
 type Fleet struct {
 	cfg     Config
-	store   *Store
+	store   Store
 	journal *Journal
 	metrics *metrics
 	persist *persister // nil when StateDir is unset: pure in-memory
@@ -544,7 +553,7 @@ func newFleet(cfg Config) *Fleet {
 		}),
 	}
 	if f.store == nil && !cfg.DisableStore {
-		f.store = NewStore(cfg.StoreConfig)
+		f.store = newConfiguredStore(cfg.StoreConfig, cfg.StoreShards)
 	}
 	f.cond = sync.NewCond(&f.mu)
 	return f
@@ -569,11 +578,7 @@ func (f *Fleet) initPersist() {
 			return
 		}
 	}
-	entries := []KeyedEntry(nil)
-	if f.store != nil && !f.cfg.DisableStore {
-		entries = f.store.Export()
-	}
-	p, err := openPersister(f.cfg.StateDir, f.cfg.Fsync, f.cfg.FsyncInterval, f.cfg.SnapshotEvery, f.sched.Export(), entries)
+	p, err := openPersister(f.cfg.StateDir, f.cfg.Fsync, f.cfg.FsyncInterval, f.cfg.SnapshotEvery, f.sched.Export(), f.captureStore())
 	if err != nil {
 		f.persist = degradedPersister(f.cfg.StateDir, err)
 		return
@@ -601,7 +606,7 @@ func (f *Fleet) startWorkers() {
 }
 
 // Store returns the fleet's profile store (nil when disabled).
-func (f *Fleet) Store() *Store {
+func (f *Fleet) Store() Store {
 	if f.cfg.DisableStore {
 		return nil
 	}
@@ -748,11 +753,24 @@ func (f *Fleet) persistSnapshot() {
 	f.mu.Lock()
 	sched := f.sched.Export()
 	f.mu.Unlock()
-	entries := []KeyedEntry(nil)
-	if f.store != nil && !f.cfg.DisableStore {
-		entries = f.store.Export()
+	f.persist.writeSnapshot(w, sched, f.captureStore())
+}
+
+// captureStore snapshots the store's contents in its shard layout, for a
+// WAL snapshot: one entry slice per shard (a single slice for Memory or a
+// disabled store). Per-shard exports are taken one shard lock at a time —
+// the manifest's journal watermark, not a global freeze, is what makes the
+// recovered whole consistent.
+func (f *Fleet) captureStore() storeState {
+	if f.store == nil || f.cfg.DisableStore {
+		return storeState{shards: 1, perShard: [][]KeyedEntry{nil}}
 	}
-	f.persist.writeSnapshot(w, sched, entries)
+	n := f.store.Shards()
+	ss := storeState{shards: n, perShard: make([][]KeyedEntry, n)}
+	for i := 0; i < n; i++ {
+		ss.perShard[i] = f.store.ExportShard(i)
+	}
+	return ss
 }
 
 // CancelQueued fails every session still waiting in the queue or retry
@@ -814,11 +832,11 @@ func (f *Fleet) Snapshot() Snapshot {
 	open := f.sched.OpenBreakers()
 	breakers := f.sched.Breakers()
 	f.mu.Unlock()
-	var store *Store
+	var st Store
 	if !f.cfg.DisableStore {
-		store = f.store
+		st = f.store
 	}
-	snap := f.metrics.snapshot(store, f.cfg.Builds, workers, peak, depth, tenants, sched, open, breakers)
+	snap := f.metrics.snapshot(st, f.cfg.Builds, workers, peak, depth, tenants, sched, open, breakers)
 	if f.persist != nil {
 		f.persist.health(&snap)
 	}
@@ -1457,7 +1475,9 @@ func (f *Fleet) applyStorePolicy(s *Session, key Key, rep *rpgcore.Report, warm 
 // commitEvent builds a "store-commit" journal event. When persisting, the
 // event additionally carries the store machine key and the committed entry
 // so WAL replay can rebuild the store; in-memory journals omit both to
-// stay byte-identical to the pre-WAL fleet.
+// stay byte-identical to the pre-WAL fleet. A sharded store's persisted
+// events also carry the shard the key routes to (replay re-hashes and does
+// not depend on it, but it makes the journal auditable per shard).
 func (f *Fleet) commitEvent(s *Session, key Key, e Entry, warm bool) Event {
 	ev := Event{Session: s.ID, Type: "store-commit",
 		Bench: key.Bench, Input: key.Input, Warm: warm}
@@ -1465,19 +1485,32 @@ func (f *Fleet) commitEvent(s *Session, key Key, e Entry, warm bool) Event {
 		ev.Machine = key.Machine
 		ec := e
 		ev.Entry = &ec
+		f.annotateShard(&ev, key)
 	}
 	return ev
 }
 
 // invalidateEvent builds a "store-invalidate" journal event; the machine
-// key rides along only when persisting (replay needs the full store key).
+// key (and, when sharded, the shard) rides along only when persisting
+// (replay needs the full store key).
 func (f *Fleet) invalidateEvent(s *Session, key Key, warm bool) Event {
 	ev := Event{Session: s.ID, Type: "store-invalidate",
 		Bench: key.Bench, Input: key.Input, Warm: warm}
 	if f.persist != nil {
 		ev.Machine = key.Machine
+		f.annotateShard(&ev, key)
 	}
 	return ev
+}
+
+// annotateShard stamps the shard a key routes to onto a persisted store
+// event when the store is sharded; single-shard journals stay
+// byte-identical to the pre-sharding fleet.
+func (f *Fleet) annotateShard(ev *Event, key Key) {
+	if f.store != nil && f.store.Shards() > 1 {
+		sh := f.store.ShardOf(key)
+		ev.Shard = &sh
+	}
 }
 
 func (f *Fleet) entryFrom(s *Session, rep *rpgcore.Report, cands []int) Entry {

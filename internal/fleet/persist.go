@@ -28,11 +28,35 @@ import (
 // State-dir file names: the event WAL, the store+scheduler snapshot, and
 // the staged journal a fresh epoch appends to until commitJournal
 // atomically renames it over journalFile.
+//
+// A single-shard store (StoreShards <= 1) persists exactly as before the
+// sharding refactor: one snapshotFile holding meta + scheduler + entries.
+// A sharded store persists as a *snapshot set*: one shard-<i>.wal per
+// shard (meta + that shard's entries), each replaced atomically, sealed
+// by manifestFile — meta (epoch, watermark, shard count) plus the
+// scheduler state in its own record — written last. The manifest is the
+// commit point: recovery trusts a shard set only as far as the manifest's
+// watermark, so a crash that lands between shard writes simply recovers
+// at the previous manifest's consistent epoch and rolls the journal
+// forward (replay is idempotent, so shard files newer than the manifest
+// are harmless).
 const (
 	journalFile      = "journal.wal"
 	snapshotFile     = "snapshot.wal"
 	journalStageFile = "journal.next"
+	manifestFile     = "manifest.wal"
 )
+
+// shardFileName is the snapshot file for one store shard.
+func shardFileName(i int) string { return fmt.Sprintf("shard-%d.wal", i) }
+
+// storeState is a store snapshot in its shard layout: one entry slice per
+// shard. shards is 1 (with a single, possibly nil, slice) for Memory or a
+// disabled store.
+type storeState struct {
+	shards   int
+	perShard [][]KeyedEntry
+}
 
 // SpecRecord is the JSON-safe projection of a SessionSpec the WAL
 // persists on "queued" events so a crashed fleet can re-admit waiting
@@ -99,13 +123,19 @@ func (r *SpecRecord) Spec() SessionSpec {
 	return s
 }
 
-// walMeta is the first record of both state files: it names the file's
-// role and epoch, and (for snapshots) the journal watermark — the highest
-// event Seq whose effects the snapshot already folds in.
+// walMeta is the first record of every state file: it names the file's
+// role ("journal", "snapshot", "shard", "manifest") and epoch, and (for
+// snapshot-role files) the journal watermark — the highest event Seq whose
+// effects the snapshot already folds in. Shard files add their index and
+// the layout's shard count; the manifest adds the shard count it seals.
+// The extra fields are omitempty so single-shard snapshot metas are
+// byte-identical to the pre-sharding fleet's.
 type walMeta struct {
-	Wal   string `json:"wal"`
-	Epoch int    `json:"epoch"`
-	Seq   int    `json:"seq"`
+	Wal    string `json:"wal"`
+	Epoch  int    `json:"epoch"`
+	Seq    int    `json:"seq"`
+	Shard  int    `json:"shard,omitempty"`
+	Shards int    `json:"shards,omitempty"`
 }
 
 // walSched frames the scheduler state inside a snapshot file.
@@ -119,6 +149,7 @@ type persister struct {
 	dir       string
 	epoch     int
 	snapEvery int
+	shards    int // snapshot layout this epoch writes (1 = legacy single file)
 
 	mu        sync.Mutex
 	log       *wal.Log
@@ -144,21 +175,26 @@ type persister struct {
 // journal, then snapshot — would let a crash between the two lose both.
 // An error means the state dir is unusable (nothing was destroyed) and
 // the fleet should degrade from birth.
-func openPersister(dir string, fsync wal.SyncMode, interval, snapEvery int, sched admission.PersistState, entries []KeyedEntry) (*persister, error) {
+func openPersister(dir string, fsync wal.SyncMode, interval, snapEvery int, sched admission.PersistState, ss storeState) (*persister, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	if snapEvery <= 0 {
 		snapEvery = 8
 	}
+	if ss.shards < 1 {
+		ss.shards = 1
+	}
 	epoch := prevEpoch(dir) + 1
-	payloads, err := snapshotPayloads(epoch, -1, sched, entries)
-	if err != nil {
+	if err := writeSnapshotSet(dir, epoch, -1, sched, ss); err != nil {
 		return nil, err
 	}
-	if err := wal.WriteAtomic(filepath.Join(dir, snapshotFile), payloads); err != nil {
-		return nil, err
-	}
+	// The fresh epoch's snapshot set is durable in the configured layout;
+	// files from the *other* layout (a shard-count change across restarts)
+	// and shard files beyond the configured count all carry older epochs
+	// now, so dropping them is a best-effort tidy — readState would have
+	// out-voted them on epoch anyway.
+	cleanupStaleSnapshots(dir, ss.shards)
 	// Stage the fresh journal beside the old one; a stale stage file is a
 	// previous epoch start that died before committing, superseded now.
 	staged := filepath.Join(dir, journalStageFile)
@@ -169,13 +205,36 @@ func openPersister(dir string, fsync wal.SyncMode, interval, snapEvery int, sche
 	if err != nil {
 		return nil, err
 	}
-	p := &persister{dir: dir, epoch: epoch, snapEvery: snapEvery, log: log, lastSeq: -1, snapshots: 1}
+	p := &persister{dir: dir, epoch: epoch, snapEvery: snapEvery, shards: ss.shards, log: log, lastSeq: -1, snapshots: 1}
 	meta, _ := json.Marshal(walMeta{Wal: "journal", Epoch: epoch})
 	if err := log.Append(meta); err != nil {
 		log.Abort()
 		return nil, err
 	}
 	return p, nil
+}
+
+// cleanupStaleSnapshots removes snapshot files the configured layout will
+// never write again: the sharded set when the layout is single-file, the
+// legacy single file when sharded, and shard files at indexes past the
+// configured count. Purely best-effort — every candidate is from an older
+// epoch, which recovery already ignores.
+func cleanupStaleSnapshots(dir string, shards int) {
+	if shards <= 1 {
+		os.Remove(filepath.Join(dir, manifestFile))
+	} else {
+		os.Remove(filepath.Join(dir, snapshotFile))
+	}
+	stale, _ := filepath.Glob(filepath.Join(dir, "shard-*.wal"))
+	for _, f := range stale {
+		var i int
+		if _, err := fmt.Sscanf(filepath.Base(f), "shard-%d.wal", &i); err != nil {
+			continue
+		}
+		if shards <= 1 || i >= shards {
+			os.Remove(f)
+		}
+	}
 }
 
 // commitJournal publishes the staged journal: flush it, then atomically
@@ -207,10 +266,18 @@ func (p *persister) commitJournal() {
 }
 
 // prevEpoch finds the newest epoch recorded in dir's state files (0 when
-// there are none).
+// there are none). Shard files count too: an epoch start that died after
+// writing shard files but before its manifest must not get its epoch
+// number reused.
 func prevEpoch(dir string) int {
+	names := []string{snapshotFile, journalFile, manifestFile}
+	if shardFiles, err := filepath.Glob(filepath.Join(dir, "shard-*.wal")); err == nil {
+		for _, f := range shardFiles {
+			names = append(names, filepath.Base(f))
+		}
+	}
 	best := 0
-	for _, name := range []string{snapshotFile, journalFile} {
+	for _, name := range names {
 		recs, _, err := wal.ReadAll(filepath.Join(dir, name))
 		if err != nil || len(recs) == 0 {
 			continue
@@ -272,8 +339,8 @@ func (p *persister) watermark() int {
 	return p.lastSeq
 }
 
-// snapshotPayloads frames a snapshot file's records: meta, scheduler
-// state, store entries.
+// snapshotPayloads frames a single-file snapshot's records: meta,
+// scheduler state, store entries — the pre-sharding format, byte-for-byte.
 func snapshotPayloads(epoch, seq int, sched admission.PersistState, entries []KeyedEntry) ([][]byte, error) {
 	payloads := make([][]byte, 0, len(entries)+2)
 	meta, _ := json.Marshal(walMeta{Wal: "snapshot", Epoch: epoch, Seq: seq})
@@ -293,23 +360,86 @@ func snapshotPayloads(epoch, seq int, sched admission.PersistState, entries []Ke
 	return payloads, nil
 }
 
-// writeSnapshot atomically replaces the snapshot file with the given
-// state, covering journal events up to seq. Callers serialize: the fleet
-// holds its snapshot mutex across capture and write, so two WriteAtomic
-// calls never share the snapshot's temp file.
-func (p *persister) writeSnapshot(seq int, sched admission.PersistState, entries []KeyedEntry) {
-	payloads, err := snapshotPayloads(p.epoch, seq, sched, entries)
-	if err != nil {
-		p.fail(err)
-		return
+// shardPayloads frames one shard's snapshot file: meta (with the shard
+// index and layout width), then that shard's entries. The scheduler state
+// does not live here — it moved to its own record in the manifest, so a
+// shard file is purely store data.
+func shardPayloads(epoch, seq, shard, shards int, entries []KeyedEntry) ([][]byte, error) {
+	payloads := make([][]byte, 0, len(entries)+1)
+	meta, _ := json.Marshal(walMeta{Wal: "shard", Epoch: epoch, Seq: seq, Shard: shard, Shards: shards})
+	payloads = append(payloads, meta)
+	for _, ke := range entries {
+		b, err := json.Marshal(ke)
+		if err != nil {
+			return nil, fmt.Errorf("encode store entry: %w", err)
+		}
+		payloads = append(payloads, b)
 	}
+	return payloads, nil
+}
+
+// manifestPayloads frames the manifest that seals a shard set: meta
+// (epoch, watermark, shard count) plus the scheduler state as its own
+// record.
+func manifestPayloads(epoch, seq, shards int, sched admission.PersistState) ([][]byte, error) {
+	meta, _ := json.Marshal(walMeta{Wal: "manifest", Epoch: epoch, Seq: seq, Shards: shards})
+	sc, err := json.Marshal(walSched{Sched: &sched})
+	if err != nil {
+		return nil, fmt.Errorf("encode scheduler state: %w", err)
+	}
+	return [][]byte{meta, sc}, nil
+}
+
+// writeSnapshotSet writes a full store+scheduler snapshot in the given
+// layout: the legacy single file for one shard, or per-shard files sealed
+// by the manifest for more. Ordering is the crash-safety story — every
+// shard file is durable before the manifest that vouches for the set, so
+// at any crash instant the newest *complete* manifest (or legacy
+// snapshot) names a watermark all its shard files have folded in.
+func writeSnapshotSet(dir string, epoch, seq int, sched admission.PersistState, ss storeState) error {
+	if ss.shards <= 1 {
+		var entries []KeyedEntry
+		if len(ss.perShard) > 0 {
+			entries = ss.perShard[0]
+		}
+		payloads, err := snapshotPayloads(epoch, seq, sched, entries)
+		if err != nil {
+			return err
+		}
+		return wal.WriteAtomic(filepath.Join(dir, snapshotFile), payloads)
+	}
+	for i := 0; i < ss.shards; i++ {
+		var entries []KeyedEntry
+		if i < len(ss.perShard) {
+			entries = ss.perShard[i]
+		}
+		payloads, err := shardPayloads(epoch, seq, i, ss.shards, entries)
+		if err != nil {
+			return err
+		}
+		if err := wal.WriteAtomic(filepath.Join(dir, shardFileName(i)), payloads); err != nil {
+			return err
+		}
+	}
+	payloads, err := manifestPayloads(epoch, seq, ss.shards, sched)
+	if err != nil {
+		return err
+	}
+	return wal.WriteAtomic(filepath.Join(dir, manifestFile), payloads)
+}
+
+// writeSnapshot atomically replaces the snapshot (file or shard set +
+// manifest) with the given state, covering journal events up to seq.
+// Callers serialize: the fleet holds its snapshot mutex across capture and
+// write, so two writes never share a temp file.
+func (p *persister) writeSnapshot(seq int, sched admission.PersistState, ss storeState) {
 	p.mu.Lock()
 	if p.degraded || p.closed {
 		p.mu.Unlock()
 		return
 	}
 	p.mu.Unlock()
-	err = wal.WriteAtomic(filepath.Join(p.dir, snapshotFile), payloads)
+	err := writeSnapshotSet(p.dir, p.epoch, seq, sched, ss)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -38,14 +39,20 @@ func TestCrashHelperProcess(t *testing.T) {
 	if os.Getenv("FLEET_WANT_CRASH_HELPER") != "1" {
 		t.Skip("helper process for TestKillMidRunRecoverLosesNothing")
 	}
-	f := New(Config{
+	cfg := Config{
 		Machine: machine.CascadeLake(), Workers: 2,
 		StateDir: os.Getenv("FLEET_CRASH_DIR"),
 		// Every append hits disk, so the parent's kill tears at most the
 		// record being written; a huge SnapshotEvery pins recovery to the
 		// journal-replay path (the clean-close test covers snapshots).
 		Fsync: wal.SyncAlways, SnapshotEvery: 1 << 30,
-	})
+	}
+	if n, _ := strconv.Atoi(os.Getenv("FLEET_CRASH_SHARDS")); n > 1 {
+		// The sharded crash test wants the kill to land with a shard
+		// snapshot set on disk, so snapshot aggressively instead.
+		cfg.StoreShards, cfg.SnapshotEvery = n, 4
+	}
+	f := New(cfg)
 	for i := 0; i < 48; i++ {
 		spec := crashPairs[i%len(crashPairs)]
 		spec.Seed = int64(i + 1)
@@ -207,6 +214,183 @@ func TestKillMidRunRecoverLosesNothing(t *testing.T) {
 		if hits := f.Snapshot().Store.Hits; hits <= before {
 			t.Fatalf("warm-hit counter did not move: %d -> %d", before, hits)
 		}
+	}
+}
+
+// TestKillMidRunShardedRecoverPartialSnapshotSet is the sharded-store crash
+// acceptance test: a fleet running StoreShards=4 with aggressive
+// snapshotting is kill -9'd once a manifest-sealed shard set is on disk,
+// then one shard member is deleted — a partial set. Recovery must notice
+// the gap via the manifest (the set goes dirty, the watermark is
+// distrusted, the whole journal replays) and still converge to exactly the
+// ledger's committed entries with no session lost.
+func TestKillMidRunShardedRecoverPartialSnapshotSet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs the test binary")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=TestCrashHelperProcess", "-test.v")
+	cmd.Env = append(os.Environ(), "FLEET_WANT_CRASH_HELPER=1",
+		"FLEET_CRASH_DIR="+dir, "FLEET_CRASH_SHARDS=4")
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill once a shard snapshot set is sealed (the manifest is written
+	// last, so its presence vouches for every member) AND a later commit is
+	// in the journal, so recovery exercises snapshot + roll-forward.
+	journal := filepath.Join(dir, journalFile)
+	manifest := filepath.Join(dir, manifestFile)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		_, merr := os.Stat(manifest)
+		data, jerr := os.ReadFile(journal)
+		if merr == nil && jerr == nil && bytes.Contains(data, []byte(`"store-commit"`)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("no sealed shard set appeared; child output:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// Tear a hole in the set: drop one member the manifest vouches for.
+	removed := ""
+	for i := 0; i < 4; i++ {
+		p := filepath.Join(dir, shardFileName(i))
+		if _, err := os.Stat(p); err == nil {
+			if err := os.Remove(p); err != nil {
+				t.Fatal(err)
+			}
+			removed = shardFileName(i)
+			break
+		}
+	}
+	if removed == "" {
+		t.Fatal("sealed manifest but no shard member on disk")
+	}
+
+	wantKeys, sessions, terminal := journalLedger(t, dir)
+	if sessions == 0 {
+		t.Fatalf("ledger saw no sessions; child output:\n%s", out.String())
+	}
+
+	f, rec, err := Recover(dir, Config{Machine: machine.CascadeLake(), Workers: 2, StoreShards: 4})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	defer f.Close()
+
+	if rec.SnapshotShards != 4 || rec.StoreShards != 4 || rec.Resharded {
+		t.Fatalf("shard accounting = snapshot %d / store %d / resharded %v, want 4 / 4 / false",
+			rec.SnapshotShards, rec.StoreShards, rec.Resharded)
+	}
+	if rec.SnapshotSalvage.Clean() {
+		t.Fatalf("deleted member %s went unreported", removed)
+	}
+	if !strings.Contains(rec.SnapshotSalvage.Reason, removed) {
+		t.Fatalf("salvage reason %q does not name the missing member %s", rec.SnapshotSalvage.Reason, removed)
+	}
+	if rec.Sessions != sessions || rec.Terminal != terminal {
+		t.Fatalf("accounting = %d sessions / %d terminal, ledger = %d / %d",
+			rec.Sessions, rec.Terminal, sessions, terminal)
+	}
+	if rec.Terminal+len(rec.Requeued) != rec.Sessions {
+		t.Fatalf("sessions lost: %d terminal + %d requeued != %d seen",
+			rec.Terminal, len(rec.Requeued), rec.Sessions)
+	}
+	if rec.StoreEntries != len(wantKeys) {
+		t.Fatalf("recovered %d store entries, ledger says %d survive", rec.StoreEntries, len(wantKeys))
+	}
+	if rec.Epoch != rec.PrevEpoch+1 {
+		t.Fatalf("epoch %d does not succeed %d", rec.Epoch, rec.PrevEpoch)
+	}
+	f.Drain()
+	for _, s := range rec.Requeued {
+		if !s.State().Terminal() {
+			t.Fatalf("requeued session %d never finished: %v", s.ID, s.State())
+		}
+	}
+}
+
+// TestRecoverReshardsDifferentLayout: a state dir snapshotted under one
+// shard count recovers into any other layout — entries re-hash on Import,
+// the mismatch is reported, nothing errors and nothing is lost.
+func TestRecoverReshardsDifferentLayout(t *testing.T) {
+	dir := t.TempDir()
+	f := New(Config{Machine: machine.CascadeLake(), Workers: 2, StateDir: dir, StoreShards: 4})
+	for i, spec := range crashPairs {
+		spec.Seed = int64(i + 1)
+		if _, err := f.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Drain()
+	want := f.Store().Export()
+	f.Close()
+	if _, err := os.Stat(filepath.Join(dir, manifestFile)); err != nil {
+		t.Fatalf("clean close of a 4-shard fleet left no manifest: %v", err)
+	}
+
+	checkExport := func(f2 *Fleet) {
+		t.Helper()
+		got := f2.Store().Export()
+		if len(got) != len(want) {
+			t.Fatalf("store entries = %d, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Key != want[i].Key || got[i].Entry.Distance != want[i].Entry.Distance {
+				t.Fatalf("entry %d mismatch: %+v vs %+v", i, got[i], want[i])
+			}
+		}
+	}
+
+	// 4-shard snapshot into an 8-shard store.
+	f2, rec, err := Recover(dir, Config{Machine: machine.CascadeLake(), Workers: 2, StoreShards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SnapshotShards != 4 || rec.StoreShards != 8 || !rec.Resharded {
+		t.Fatalf("shard accounting = snapshot %d / store %d / resharded %v, want 4 / 8 / true",
+			rec.SnapshotShards, rec.StoreShards, rec.Resharded)
+	}
+	if !strings.Contains(rec.Summary(), "re-sharded 4 -> 8") {
+		t.Fatalf("Summary hides the re-shard: %s", rec.Summary())
+	}
+	checkExport(f2)
+	f2.Close()
+
+	// 8-shard snapshot back into the single-mutex store.
+	f3, rec3, err := Recover(dir, Config{Machine: machine.CascadeLake(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f3.Close()
+	if rec3.SnapshotShards != 8 || rec3.StoreShards != 1 || !rec3.Resharded {
+		t.Fatalf("shard accounting = snapshot %d / store %d / resharded %v, want 8 / 1 / true",
+			rec3.SnapshotShards, rec3.StoreShards, rec3.Resharded)
+	}
+	checkExport(f3)
+	// The re-shard must not cost the warm-start path: a session on a
+	// recovered key still warm-starts.
+	s, err := f3.Submit(SessionSpec{Bench: want[0].Key.Bench, Input: want[0].Key.Input, Seed: 9001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3.Drain()
+	if !s.State().Terminal() || s.State() == Failed {
+		t.Fatalf("post-reshard session state = %v (err %v)", s.State(), s.Err())
+	}
+	if !s.Warm() {
+		t.Fatal("session on a re-sharded recovered key did not warm-start")
 	}
 }
 
@@ -374,7 +558,7 @@ func TestRecoverSurvivesInterruptedRecovery(t *testing.T) {
 			entries = append(entries, KeyedEntry{Key: k, Entry: e})
 		}
 	}
-	half.store.Restore(entries)
+	half.store.Import(entries)
 	if st.sched != nil {
 		half.sched.Import(*st.sched)
 	}
@@ -416,7 +600,7 @@ func TestRecoverSurvivesInterruptedRecovery(t *testing.T) {
 // store-commit threshold get exactly one snapshot claim.
 func TestClaimSnapshotSingleWinner(t *testing.T) {
 	dir := t.TempDir()
-	p, err := openPersister(dir, wal.SyncOnClose, 0, 4, admission.PersistState{}, nil)
+	p, err := openPersister(dir, wal.SyncOnClose, 0, 4, admission.PersistState{}, storeState{shards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

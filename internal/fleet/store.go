@@ -1,317 +1,40 @@
-// The profile store is the fleet's stale-profile-reuse layer: the first
-// session on a (benchmark, input, machine) combination pays for full PEBS
-// profiling and a cold distance search, then commits what it learned; later
-// sessions on a matching combination are warm-started from the cached
-// candidate sites and tuned distance, shortening both profiling and search.
-// Entries age out after a bounded number of reuses (staleness) and are
-// invalidated when a reused distance regresses the miss-site retirement
-// rate, so a drifted workload falls back to fresh profiling instead of
-// being pinned to a bad distance forever.
+// The profile store lives in internal/store behind the store.Store
+// interface; the fleet holds only the interface. These aliases keep the
+// fleet's public surface (and every call site that grew up against
+// fleet.Store) stable across the extraction.
 package fleet
 
-import (
-	"sort"
-	"sync"
-)
+import "rpg2/internal/store"
 
-// Key identifies the workload context a profile was collected in. Profiles
-// are machine-specific: the paper's central result is that a distance tuned
-// for one microarchitecture transplants badly to another.
-type Key struct {
-	Bench   string `json:"bench"`
-	Input   string `json:"input"`
-	Machine string `json:"machine"`
-}
+// Key identifies the workload context a profile was collected in.
+type Key = store.Key
 
-// Entry is one cached profile: the hot function, its candidate prefetch
-// sites, and the distance the search settled on, plus the rates that let a
-// later session judge whether the reuse still pays.
-type Entry struct {
-	// Func is the hot function the sites live in.
-	Func string `json:"func"`
-	// Candidates are the PEBS candidate load PCs (f0 addresses).
-	Candidates []int `json:"candidates"`
-	// Distance is the tuned prefetch distance.
-	Distance int `json:"distance"`
-	// BaselineRate and TunedRate are the miss-site retirement rates
-	// observed before and after tuning in the committing session.
-	BaselineRate float64 `json:"baseline_rate"`
-	TunedRate    float64 `json:"tuned_rate"`
-	// Session is the ID of the session that committed the entry.
-	Session int `json:"session"`
-}
-
-// StoreConfig tunes the reuse policy.
-type StoreConfig struct {
-	// MaxReuse is how many sessions may warm-start from one committed
-	// entry before it is considered stale and evicted, forcing the next
-	// session to re-profile from scratch (default 16).
-	MaxReuse int
-}
-
-// StoreCounters are the store's cumulative policy counters.
-type StoreCounters struct {
-	Hits          uint64 `json:"hits"`
-	Misses        uint64 `json:"misses"`
-	Stale         uint64 `json:"stale"`
-	Invalidations uint64 `json:"invalidations"`
-	Commits       uint64 `json:"commits"`
-	// Translations counts sibling entries served across machine types by
-	// LookupTranslated; they are deliberately not Hits — a translated seed
-	// is a hypothesis, not a cache hit on this machine's profile.
-	Translations uint64 `json:"translations,omitempty"`
-	// Refunds counts reuse-budget charges returned by Refund after a
-	// seeded session failed before its search could run.
-	Refunds uint64 `json:"refunds,omitempty"`
-}
-
-type storeEntry struct {
-	Entry
-	gen  uint64 // generation, bumped by every Commit
-	uses int    // warm starts served since the last Commit
-}
-
-// Store is a concurrency-safe profile cache shared by every session of a
-// fleet (and shareable across fleets on the same machine type).
-type Store struct {
-	cfg StoreConfig
-
-	mu       sync.Mutex
-	entries  map[Key]*storeEntry
-	gen      uint64
-	frozen   bool
-	counters StoreCounters
-}
-
-// NewStore builds an empty store; zero-value config fields get defaults.
-func NewStore(cfg StoreConfig) *Store {
-	if cfg.MaxReuse <= 0 {
-		cfg.MaxReuse = 16
-	}
-	return &Store{cfg: cfg, entries: make(map[Key]*storeEntry)}
-}
-
-// Lookup returns the cached profile for a key, counting a hit, or reports a
-// miss. An entry that has served MaxReuse warm starts is stale: it is
-// evicted, counted, and reported as a miss so the caller re-profiles. The
-// returned generation must be passed to Invalidate so a racing Commit from
-// a concurrent session is not clobbered.
-func (s *Store) Lookup(k Key) (Entry, uint64, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.entries[k]
-	if !ok {
-		s.counters.Misses++
-		return Entry{}, 0, false
-	}
-	if s.frozen {
-		s.counters.Hits++
-		return e.Entry, e.gen, true
-	}
-	if e.uses >= s.cfg.MaxReuse {
-		delete(s.entries, k)
-		s.counters.Stale++
-		s.counters.Misses++
-		return Entry{}, 0, false
-	}
-	e.uses++
-	s.counters.Hits++
-	return e.Entry, e.gen, true
-}
-
-// LookupTranslated finds a sibling entry for the same (bench, input) on a
-// *different* machine — the source a cross-machine translated warm start
-// seeds from after Lookup missed. Siblings are scanned in machine-name
-// order so the choice is deterministic regardless of commit interleaving;
-// stale siblings are evicted exactly as Lookup would evict them. A serve
-// consumes the sibling's reuse budget (a translated seed is still a reuse
-// of that profile) and counts Translations, never Hits: the caller's
-// Lookup already counted the miss for this machine's key, and the hit
-// rate must keep meaning "sessions served by a same-machine profile".
-func (s *Store) LookupTranslated(k Key) (Entry, Key, uint64, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var sibs []Key
-	for sk := range s.entries {
-		if sk.Bench == k.Bench && sk.Input == k.Input && sk.Machine != k.Machine {
-			sibs = append(sibs, sk)
-		}
-	}
-	sort.Slice(sibs, func(i, j int) bool { return sibs[i].Machine < sibs[j].Machine })
-	for _, sk := range sibs {
-		e := s.entries[sk]
-		if !s.frozen && e.uses >= s.cfg.MaxReuse {
-			delete(s.entries, sk)
-			s.counters.Stale++
-			continue
-		}
-		if !s.frozen {
-			e.uses++
-		}
-		s.counters.Translations++
-		return e.Entry, sk, e.gen, true
-	}
-	return Entry{}, Key{}, 0, false
-}
-
-// Peek returns the cached profile for a key without disturbing the policy
-// state: no counters move, no reuse budget is consumed, stale entries are
-// neither served nor evicted. It is the read-only observation path the
-// daemon's store-lookup endpoint uses — an HTTP GET must not age the
-// cache.
-func (s *Store) Peek(k Key) (Entry, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.entries[k]
-	if !ok || (!s.frozen && e.uses >= s.cfg.MaxReuse) {
-		return Entry{}, false
-	}
-	return e.Entry, true
-}
-
-// PeekTranslated is LookupTranslated's read-only counterpart: it reports
-// the sibling entry a translated lookup *would* seed from (same
-// deterministic machine-name order), without consuming reuse budget,
-// moving counters, or evicting stale siblings.
-func (s *Store) PeekTranslated(k Key) (Entry, Key, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var sibs []Key
-	for sk := range s.entries {
-		if sk.Bench == k.Bench && sk.Input == k.Input && sk.Machine != k.Machine {
-			sibs = append(sibs, sk)
-		}
-	}
-	sort.Slice(sibs, func(i, j int) bool { return sibs[i].Machine < sibs[j].Machine })
-	for _, sk := range sibs {
-		e := s.entries[sk]
-		if !s.frozen && e.uses >= s.cfg.MaxReuse {
-			continue
-		}
-		return e.Entry, sk, true
-	}
-	return Entry{}, Key{}, false
-}
-
-// Refund returns one reuse-budget charge to an entry whose warm start never
-// ran: a seeded session that dies before its search (build or launch
-// failure) consumed budget for nothing, and without the refund a string of
-// transient failures could stale a perfectly good profile. The generation
-// guard makes a refund against a since-refreshed entry a no-op, exactly
-// like Invalidate. Reports whether a charge was returned.
-func (s *Store) Refund(k Key, gen uint64) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.entries[k]
-	if !ok || e.gen != gen || s.frozen || e.uses <= 0 {
-		return false
-	}
-	e.uses--
-	s.counters.Refunds++
-	return true
-}
-
-// Commit installs (or refreshes) the profile for a key, resetting its reuse
-// budget, and returns the new generation.
-func (s *Store) Commit(k Key, e Entry) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.frozen {
-		return 0
-	}
-	s.gen++
-	s.counters.Commits++
-	s.entries[k] = &storeEntry{Entry: e, gen: s.gen}
-	return s.gen
-}
-
-// Invalidate drops the entry for a key if it is still the generation the
-// caller warm-started from; a stale generation (another session already
-// committed a fresher profile) is a no-op. Reports whether it dropped.
-func (s *Store) Invalidate(k Key, gen uint64) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.entries[k]
-	if !ok || e.gen != gen || s.frozen {
-		return false
-	}
-	delete(s.entries, k)
-	s.counters.Invalidations++
-	return true
-}
-
-// Freeze makes the store read-only: Lookup keeps serving entries (without
-// consuming reuse budget), Commit and Invalidate become no-ops. A frozen
-// store's responses depend only on its contents, not on the order
-// concurrent sessions touch it — the property the deterministic
-// warm-started experiments harness relies on.
-func (s *Store) Freeze() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.frozen = true
-}
-
-// Thaw reverses Freeze.
-func (s *Store) Thaw() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.frozen = false
-}
+// Entry is one cached profile.
+type Entry = store.Entry
 
 // KeyedEntry pairs a key with its entry: the unit a WAL snapshot persists
 // and crash recovery restores.
-type KeyedEntry struct {
-	Key   Key   `json:"key"`
-	Entry Entry `json:"entry"`
+type KeyedEntry = store.KeyedEntry
+
+// StoreConfig tunes the reuse policy.
+type StoreConfig = store.Config
+
+// StoreCounters are the store's cumulative policy counters.
+type StoreCounters = store.Counters
+
+// Store is the profile-store interface the fleet runs against; see
+// internal/store for the contract and the Memory/Sharded implementations.
+type Store = store.Store
+
+// NewStore builds an empty single-shard (Memory) store; zero-value config
+// fields get defaults. Sharded stores come from store.New / the fleet's
+// StoreShards config knob.
+func NewStore(cfg StoreConfig) Store {
+	return store.NewMemory(cfg)
 }
 
-// Export returns every live entry sorted by key, for deterministic
-// snapshots. Reuse budgets and generations are process-local and are not
-// exported.
-func (s *Store) Export() []KeyedEntry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]KeyedEntry, 0, len(s.entries))
-	for k, e := range s.entries {
-		out = append(out, KeyedEntry{Key: k, Entry: e.Entry})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Key, out[j].Key
-		if a.Bench != b.Bench {
-			return a.Bench < b.Bench
-		}
-		if a.Input != b.Input {
-			return a.Input < b.Input
-		}
-		return a.Machine < b.Machine
-	})
-	return out
-}
-
-// Restore installs recovered entries wholesale, each with a fresh
-// generation and a full reuse budget. It is the crash-recovery path, meant
-// for a store no session is using yet; it does not touch the policy
-// counters (recovered entries were already counted by the process that
-// committed them).
-func (s *Store) Restore(entries []KeyedEntry) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, ke := range entries {
-		s.gen++
-		s.entries[ke.Key] = &storeEntry{Entry: ke.Entry, gen: s.gen}
-	}
-}
-
-// Len reports the number of live entries.
-func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.entries)
-}
-
-// Counters returns a snapshot of the policy counters.
-func (s *Store) Counters() StoreCounters {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.counters
+// newConfiguredStore picks the implementation for a fleet's config:
+// Memory for shards <= 1, Sharded otherwise.
+func newConfiguredStore(cfg StoreConfig, shards int) Store {
+	return store.New(cfg, shards)
 }

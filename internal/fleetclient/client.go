@@ -278,11 +278,15 @@ func (c *Client) Metrics(ctx context.Context) (fleet.Snapshot, error) {
 }
 
 // LookupResult is a store peek: the entry, and for translated lookups the
-// sibling key it would seed from.
+// sibling key it would seed from. Against a daemon running a sharded
+// store, Shard is the shard the key routed to and Shards the layout
+// width; both are absent for the single-shard store.
 type LookupResult struct {
 	Key    fleet.Key   `json:"key"`
 	Entry  fleet.Entry `json:"entry"`
 	Source *fleet.Key  `json:"source,omitempty"`
+	Shard  *int        `json:"shard,omitempty"`
+	Shards int         `json:"shards,omitempty"`
 }
 
 func storeQuery(k fleet.Key) string {

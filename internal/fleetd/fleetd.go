@@ -381,11 +381,25 @@ func (s *Server) storeKey(r *http.Request) fleet.Key {
 }
 
 // lookupResponse frames a store peek: the entry, and (for translated
-// lookups) the sibling key it would seed from.
+// lookups) the sibling key it would seed from. Against a sharded store it
+// also reports which shard the key routed to and the layout width —
+// translated lookups report the same shard as plain lookups for the same
+// (bench, input), because the shard key excludes the machine axis.
 type lookupResponse struct {
 	Key    fleet.Key   `json:"key"`
 	Entry  fleet.Entry `json:"entry"`
 	Source *fleet.Key  `json:"source,omitempty"`
+	Shard  *int        `json:"shard,omitempty"`
+	Shards int         `json:"shards,omitempty"`
+}
+
+// shardInfo annotates a peek response with the routing shard when the
+// store is sharded; single-shard responses stay byte-identical.
+func shardInfo(st fleet.Store, k fleet.Key, resp *lookupResponse) {
+	if n := st.Shards(); n > 1 {
+		sh := st.ShardOf(k)
+		resp.Shard, resp.Shards = &sh, n
+	}
 }
 
 func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
@@ -404,7 +418,9 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "no entry for %+v", k)
 		return
 	}
-	writeJSON(w, http.StatusOK, lookupResponse{Key: k, Entry: e})
+	resp := lookupResponse{Key: k, Entry: e}
+	shardInfo(st, k, &resp)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleTranslated(w http.ResponseWriter, r *http.Request) {
@@ -423,7 +439,9 @@ func (s *Server) handleTranslated(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "no sibling entry for %+v", k)
 		return
 	}
-	writeJSON(w, http.StatusOK, lookupResponse{Key: k, Entry: e, Source: &src})
+	resp := lookupResponse{Key: k, Entry: e, Source: &src}
+	shardInfo(st, k, &resp)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -39,6 +39,7 @@ import (
 	"rpg2/internal/perf"
 	"rpg2/internal/proc"
 	rpgcore "rpg2/internal/rpg2"
+	"rpg2/internal/store"
 	"rpg2/internal/wal"
 	"rpg2/internal/workloads"
 )
@@ -223,11 +224,23 @@ type FleetEvent = fleet.Event
 
 // ProfileStore caches candidate sites and tuned distances per (benchmark,
 // input, machine), with bounded reuse and regression-driven invalidation.
+// It is an interface (internal/store.Store) with two implementations: a
+// single-mutex in-memory map and an N-way sharded variant that splits
+// lookup/commit contention by an FNV hash of (bench, input).
 type ProfileStore = fleet.Store
 
-// NewProfileStore builds an empty profile store with the default reuse
-// policy, shareable across fleets via FleetConfig.Store.
-func NewProfileStore() *ProfileStore { return fleet.NewStore(fleet.StoreConfig{}) }
+// NewProfileStore builds an empty single-shard profile store with the
+// default reuse policy, shareable across fleets via FleetConfig.Store.
+func NewProfileStore() ProfileStore { return fleet.NewStore(fleet.StoreConfig{}) }
+
+// NewShardedProfileStore builds a profile store sharded across n
+// independently locked shards (n <= 1 falls back to the single-shard
+// store). The shard key excludes the machine axis, so cross-machine
+// translation lookups never cross shards. Equivalent to setting
+// FleetConfig.StoreShards when the fleet owns its store.
+func NewShardedProfileStore(n int) ProfileStore {
+	return store.New(store.Config{}, n)
+}
 
 // TranslateDistance scales a prefetch distance tuned on machine src into a
 // starting hypothesis for machine dst, by the ratio of the machines'
