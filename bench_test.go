@@ -561,6 +561,14 @@ type trajectoryPoint struct {
 	StoreShardedOps   float64 `json:"store_sharded_ops_per_second,omitempty"`
 	StoreShardSpeedup float64 `json:"store_shard_speedup,omitempty"`
 	CPUs              int     `json:"cpus,omitempty"`
+	// Drift recovery latency: one bc-drift session under a 1s watchdog.
+	// Detection windows (sampler windows from phase switch to firing) plus
+	// re-tune probes is the lane's end-to-end recovery latency in windows —
+	// the number the drift study gates on, tracked here per commit.
+	DriftDetectWindows   float64 `json:"drift_detect_windows,omitempty"`
+	DriftRetuneProbes    int     `json:"drift_retune_probes,omitempty"`
+	DriftRecoveryWindows float64 `json:"drift_recovery_windows,omitempty"`
+	DriftRetunes         int     `json:"drift_retunes,omitempty"`
 }
 
 // BenchmarkFleetTrajectory measures the two throughput numbers the
@@ -649,6 +657,27 @@ func measureTrajectory(b *testing.B) trajectoryPoint {
 	pt.StoreShardedOps = storeOpsPerSecond(store.NewSharded(store.Config{}, 8), 8, 200_000)
 	if pt.StoreMemoryOps > 0 {
 		pt.StoreShardSpeedup = pt.StoreShardedOps / pt.StoreMemoryOps
+	}
+
+	// Drift recovery latency: one bc-drift session with the watchdog armed.
+	// SeedDistance 2 lands the activation in the pre-switch regime so the
+	// phase switch drifts it hard and the re-tune lane has real work to do.
+	df := rpg2.NewFleet(rpg2.FleetConfig{Machine: m, Workers: 1, WatchdogInterval: 1})
+	defer df.Close()
+	s, err := df.Submit(rpg2.SessionSpec{
+		Bench: "bc-drift", Seed: 1, Cold: true, RunSeconds: 30,
+		Config: &rpgcore.Config{SeedDistance: 2},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	df.Drain()
+	snap := df.Snapshot()
+	pt.DriftDetectWindows = snap.DetectWindowsMean
+	pt.DriftRetunes = snap.RetunesCompleted
+	if rep := s.Report(); rep != nil && snap.RetunesCompleted > 0 {
+		pt.DriftRetuneProbes = rep.Costs.PDEdits
+		pt.DriftRecoveryWindows = snap.DetectWindowsMean + float64(rep.Costs.PDEdits)
 	}
 	return pt
 }

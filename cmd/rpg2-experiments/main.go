@@ -10,6 +10,7 @@
 //	rpg2-experiments -table 3 -quick   # one table at reduced scale
 //	rpg2-experiments -smoke -fig 7 -bench pr,is -journal run.ndjson -metrics -
 //	rpg2-experiments -smoke -translate -bench pr   # cross-machine transplant study
+//	rpg2-experiments -smoke -drift -bench bc-drift # phase-drift watchdog study
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 	warm := flag.Bool("warm", false, "let Figure 7's RPG² trials warm-start from the profile store")
 	shards := flag.Int("store-shards", 0, "shard the fleet's profile store across this many locks (0/1 = single-shard store; results are byte-identical either way)")
 	translate := flag.Bool("translate", false, "run the cross-machine transplant study (cold vs warm vs translated seeding)")
+	drift := flag.Bool("drift", false, "run the phase-drift study (no-watchdog baseline vs warm re-tune vs cold-re-tune ablation)")
 	benches := flag.String("bench", "", "comma-separated benchmark subset for figures 7/8 and table 3")
 	journal := flag.String("journal", "", "write the fleet event journal as JSON lines to this file (- for stdout)")
 	metrics := flag.String("metrics", "", "write the fleet metrics snapshot as JSON to this file (- for stdout)")
@@ -71,7 +73,7 @@ func main() {
 	r := rpg2.NewExperiments(opts)
 	defer r.Close()
 
-	err := run(r, *fig, *table, *all, *translate, benchList)
+	err := run(r, *fig, *table, *all, *translate, *drift, benchList)
 	if err == nil {
 		err = dump(r, *journal, *metrics)
 	}
@@ -116,12 +118,33 @@ func dump(r *rpg2.Experiments, journal, metrics string) error {
 	return nil
 }
 
-func run(r *rpg2.Experiments, fig, table int, all, translate bool, benches []string) error {
+func run(r *rpg2.Experiments, fig, table int, all, translate, drift bool, benches []string) error {
 	out := os.Stdout
 	did := false
 	runTransplant := func() error {
 		did = true
 		res, err := r.TableTransplant(benches)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+		return nil
+	}
+	runDrift := func() error {
+		did = true
+		// The drift study takes the drifting benchmark catalogue, not the
+		// stock one; -bench only applies when it names drifting benches.
+		var driftBenches []string
+		known := make(map[string]bool)
+		for _, b := range rpg2.DriftBenchmarks() {
+			known[b] = true
+		}
+		for _, b := range benches {
+			if known[b] {
+				driftBenches = append(driftBenches, b)
+			}
+		}
+		res, err := r.TableDrift(driftBenches)
 		if err != nil {
 			return err
 		}
@@ -234,7 +257,10 @@ func run(r *rpg2.Experiments, fig, table int, all, translate bool, benches []str
 				return fmt.Errorf("figure %d: %w", n, err)
 			}
 		}
-		return runTransplant()
+		if err := runTransplant(); err != nil {
+			return err
+		}
+		return runDrift()
 	}
 	if fig != 0 {
 		if err := runFig(fig); err != nil {
@@ -248,6 +274,11 @@ func run(r *rpg2.Experiments, fig, table int, all, translate bool, benches []str
 	}
 	if translate {
 		if err := runTransplant(); err != nil {
+			return err
+		}
+	}
+	if drift {
+		if err := runDrift(); err != nil {
 			return err
 		}
 	}

@@ -63,6 +63,15 @@ type options struct {
 	quota     int
 	breaker   int
 
+	// Phase-drift watchdog knobs.
+	watchdog   float64
+	wdWindow   float64
+	wdThresh   float64
+	wdHyst     int
+	retunes    int
+	retuneWait float64
+	retuneCold bool
+
 	// Persistence knobs.
 	stateDir string
 	resume   bool
@@ -89,6 +98,13 @@ func main() {
 	flag.IntVar(&o.retries, "retries", 0, "retry budget for failed/rolled-back sessions (0 = no retry lane)")
 	flag.IntVar(&o.quota, "quota", 0, "max in-flight sessions per (benchmark, input) pair (0 = unlimited)")
 	flag.IntVar(&o.breaker, "breaker", 0, "consecutive rollbacks that trip a pair's circuit breaker (0 = off)")
+	flag.Float64Var(&o.watchdog, "watchdog-interval", 0, "sample tuned sessions every this many simulated seconds for phase drift (0 = watchdog off, byte-identical fleet)")
+	flag.Float64Var(&o.wdWindow, "watchdog-window", 0, "measured window length per watchdog sample in simulated seconds (0 = default 0.2)")
+	flag.Float64Var(&o.wdThresh, "watchdog-threshold", 0, "relative rate degradation that counts as drifted (0 = default 0.25)")
+	flag.IntVar(&o.wdHyst, "watchdog-hysteresis", 0, "consecutive degraded samples before the watchdog fires (0 = default 3)")
+	flag.IntVar(&o.retunes, "max-retunes", 0, "re-tune lane budget per session (0 = default 1 when the watchdog is armed)")
+	flag.Float64Var(&o.retuneWait, "retune-delay", 0, "fixed virtual delay before a re-tune dispatch (0 = default 0.5)")
+	flag.BoolVar(&o.retuneCold, "retune-cold", false, "ablation: re-tune searches start cold instead of seeded from the installed distance")
 	flag.StringVar(&o.stateDir, "state-dir", "", "persist the journal WAL and profile-store snapshots here (empty = in-memory only)")
 	flag.BoolVar(&o.resume, "resume", false, "recover the state dir and finish its interrupted sessions instead of submitting new work")
 	flag.BoolVar(&o.fresh, "fresh", false, "discard a state dir's interrupted run and start a fresh epoch (default: refuse)")
@@ -101,7 +117,10 @@ func main() {
 	}
 }
 
-// catalogue builds the (benchmark, input) pairs the fleet draws from.
+// catalogue builds the (benchmark, input) pairs the fleet draws from. The
+// drifting benchmarks (bc-drift, is-drift, chase-drift) are opt-in by
+// explicit name — "all" means the stock catalogue, byte-identical to
+// before the watchdog existed.
 func catalogue(benches string, limit int) ([]rpg2.SessionSpec, error) {
 	want := make(map[string]bool)
 	if benches == "all" || benches == "" {
@@ -113,10 +132,14 @@ func catalogue(benches string, limit int) ([]rpg2.SessionSpec, error) {
 		for _, b := range rpg2.Benchmarks() {
 			known[b] = true
 		}
+		for _, b := range rpg2.DriftBenchmarks() {
+			known[b] = true
+		}
 		for _, b := range strings.Split(benches, ",") {
 			b = strings.TrimSpace(b)
 			if !known[b] {
-				return nil, fmt.Errorf("unknown benchmark %q (have %v)", b, rpg2.Benchmarks())
+				return nil, fmt.Errorf("unknown benchmark %q (have %v plus drift %v)",
+					b, rpg2.Benchmarks(), rpg2.DriftBenchmarks())
 			}
 			want[b] = true
 		}
@@ -136,6 +159,11 @@ func catalogue(benches string, limit int) ([]rpg2.SessionSpec, error) {
 				specs = append(specs, rpg2.SessionSpec{Bench: b, Input: in.Name})
 			}
 		default: // AJ benchmarks carry a fixed input
+			specs = append(specs, rpg2.SessionSpec{Bench: b})
+		}
+	}
+	for _, b := range rpg2.DriftBenchmarks() {
+		if want[b] {
 			specs = append(specs, rpg2.SessionSpec{Bench: b})
 		}
 	}
@@ -170,18 +198,25 @@ func run(o options) error {
 		}
 	}
 	cfg := rpg2.FleetConfig{
-		Machine:          m,
-		Workers:          o.workers,
-		RunSeconds:       o.seconds,
-		DisableStore:     o.nostore,
-		StoreShards:      o.shards,
-		Translate:        o.translate,
-		Quota:            o.quota,
-		MaxRetries:       o.retries,
-		BreakerThreshold: o.breaker,
-		StateDir:         o.stateDir,
-		Fsync:            fsync,
-		Overwrite:        o.fresh,
+		Machine:            m,
+		Workers:            o.workers,
+		RunSeconds:         o.seconds,
+		DisableStore:       o.nostore,
+		StoreShards:        o.shards,
+		Translate:          o.translate,
+		Quota:              o.quota,
+		MaxRetries:         o.retries,
+		BreakerThreshold:   o.breaker,
+		StateDir:           o.stateDir,
+		Fsync:              fsync,
+		Overwrite:          o.fresh,
+		WatchdogInterval:   o.watchdog,
+		WatchdogWindow:     o.wdWindow,
+		WatchdogThreshold:  o.wdThresh,
+		WatchdogHysteresis: o.wdHyst,
+		MaxRetunes:         o.retunes,
+		RetuneDelay:        o.retuneWait,
+		RetuneCold:         o.retuneCold,
 	}
 	if o.faults > 0 {
 		cfg.Faults = rpg2.NewFaultInjector(rpg2.FaultConfig{Seed: o.faultSeed, Rate: o.faults})

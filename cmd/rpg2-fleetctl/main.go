@@ -8,6 +8,7 @@
 //	rpg2-fleetctl result 3
 //	rpg2-fleetctl metrics
 //	rpg2-fleetctl events -since 0
+//	rpg2-fleetctl drift -since 0
 //	rpg2-fleetctl lookup -bench is
 //	rpg2-fleetctl batch -bench is,cg,mg -tenant alice -count 2
 //	rpg2-fleetctl health
@@ -40,7 +41,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "rpg2-fleetctl: need a subcommand: submit | status | wait | result | metrics | events | lookup | batch | health")
+		fmt.Fprintln(os.Stderr, "rpg2-fleetctl: need a subcommand: submit | status | wait | result | metrics | events | drift | lookup | batch | health")
 		os.Exit(2)
 	}
 
@@ -62,6 +63,8 @@ func main() {
 		err = runMetrics(ctx, cli)
 	case "events":
 		err = runEvents(ctx, cli, rest)
+	case "drift":
+		err = runDrift(ctx, cli, rest)
 	case "lookup":
 		err = runLookup(ctx, cli, rest)
 	case "batch":
@@ -183,6 +186,30 @@ func runEvents(ctx context.Context, cli *rpg2.FleetClient, args []string) error 
 	enc := json.NewEncoder(os.Stdout)
 	return cli.Stream(ctx, *since, func(e rpg2.FleetEvent) error {
 		return enc.Encode(e)
+	})
+}
+
+// runDrift follows the event stream but keeps only the phase-drift
+// watchdog lane — drift-detected, retune-scheduled, retune-complete — as
+// one grep-able line each, so an operator can watch re-tunes fire without
+// wading through the full journal.
+func runDrift(ctx context.Context, cli *rpg2.FleetClient, args []string) error {
+	fs := flag.NewFlagSet("drift", flag.ExitOnError)
+	since := fs.Int("since", -1, "replay events with sequence > since before following (-1 = everything)")
+	fs.Parse(args)
+	return cli.Stream(ctx, *since, func(e rpg2.FleetEvent) error {
+		switch e.Type {
+		case "drift-detected":
+			fmt.Printf("drift-detected session=%d bench=%s/%s retune=%d rate=%.4f ref=%.4f windows=%d\n",
+				e.Session, e.Bench, e.Input, e.Retune, e.Rate, e.Ref, e.Windows)
+		case "retune-scheduled":
+			fmt.Printf("retune-scheduled session=%d bench=%s/%s retune=%d seed-distance=%d due=%.2f\n",
+				e.Session, e.Bench, e.Input, e.Retune, e.Distance, e.Due)
+		case "retune-complete":
+			fmt.Printf("retune-complete session=%d bench=%s/%s retune=%d distance=%d rate=%.4f\n",
+				e.Session, e.Bench, e.Input, e.Retune, e.Distance, e.Rate)
+		}
+		return nil
 	})
 }
 

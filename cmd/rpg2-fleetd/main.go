@@ -51,6 +51,14 @@ type options struct {
 	retries     int
 	breaker     int
 
+	watchdog   float64
+	wdWindow   float64
+	wdThresh   float64
+	wdHyst     int
+	retunes    int
+	retuneWait float64
+	retuneCold bool
+
 	stateDir string
 	resume   bool
 	fresh    bool
@@ -75,6 +83,13 @@ func main() {
 	flag.IntVar(&o.tenantQueue, "tenant-queue", 0, "max waiting sessions per tenant before its submissions get 429 (0 = unbounded)")
 	flag.IntVar(&o.retries, "retries", 0, "retry budget for failed/rolled-back sessions (0 = no retry lane)")
 	flag.IntVar(&o.breaker, "breaker", 0, "consecutive rollbacks that trip a pair's circuit breaker (0 = off)")
+	flag.Float64Var(&o.watchdog, "watchdog-interval", 0, "sample tuned sessions every this many simulated seconds for phase drift (0 = watchdog off, byte-identical fleet)")
+	flag.Float64Var(&o.wdWindow, "watchdog-window", 0, "measured window length per watchdog sample in simulated seconds (0 = default 0.2)")
+	flag.Float64Var(&o.wdThresh, "watchdog-threshold", 0, "relative rate degradation that counts as drifted (0 = default 0.25)")
+	flag.IntVar(&o.wdHyst, "watchdog-hysteresis", 0, "consecutive degraded samples before the watchdog fires (0 = default 3)")
+	flag.IntVar(&o.retunes, "max-retunes", 0, "re-tune lane budget per session (0 = default 1 when the watchdog is armed)")
+	flag.Float64Var(&o.retuneWait, "retune-delay", 0, "fixed virtual delay before a re-tune dispatch (0 = default 0.5)")
+	flag.BoolVar(&o.retuneCold, "retune-cold", false, "ablation: re-tune searches start cold instead of seeded from the installed distance")
 	flag.StringVar(&o.stateDir, "state-dir", "", "persist the journal WAL and profile-store snapshots here (empty = in-memory only)")
 	flag.BoolVar(&o.resume, "resume", false, "recover the state dir's interrupted run; its sessions stay pollable under their old IDs")
 	flag.BoolVar(&o.fresh, "fresh", false, "discard a state dir's interrupted run and start a fresh epoch (default: refuse)")
@@ -126,6 +141,14 @@ func run(o options) error {
 			StateDir:         o.stateDir,
 			Fsync:            fsync,
 			Overwrite:        o.fresh,
+
+			WatchdogInterval:   o.watchdog,
+			WatchdogWindow:     o.wdWindow,
+			WatchdogThreshold:  o.wdThresh,
+			WatchdogHysteresis: o.wdHyst,
+			MaxRetunes:         o.retunes,
+			RetuneDelay:        o.retuneWait,
+			RetuneCold:         o.retuneCold,
 		},
 		Resume:        o.resume,
 		RetryAfterCap: o.retryAfterCap,

@@ -1,0 +1,67 @@
+// Example drift arms the phase-drift watchdog on bc-drift, a graph
+// workload that mutates mid-run: phase A walks rows that fit one cache
+// line (a small prefetch distance wins), then the graph rebuilds into
+// one-word rows whose accesses are effectively random (a far larger
+// distance is needed). The session activates during phase A; when the
+// phase switches, the watchdog's EWMA over the miss-site retirement rate
+// detects the sustained degradation and the fleet re-admits the session
+// into the re-tune lane, which re-enters the distance search seeded from
+// the installed distance. The journal shows the whole arc:
+// drift-detected, retune-scheduled, retune-complete.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rpg2"
+)
+
+func main() {
+	m := rpg2.CascadeLake()
+	f := rpg2.NewFleet(rpg2.FleetConfig{
+		Machine: m,
+		Workers: 1,
+		// Sample every tuned session's rate each simulated second. This is
+		// the only knob the watchdog needs; window length, degradation
+		// threshold, hysteresis, re-tune budget, and re-tune delay all have
+		// defaults (0.2 s, 25%, 3 samples, 1 re-tune, 0.5 s).
+		WatchdogInterval: 1,
+	})
+	defer f.Close()
+
+	s, err := f.Submit(rpg2.SessionSpec{
+		Bench: "bc-drift",
+		Seed:  1,
+		Cold:  true,
+		// Long enough to activate in phase A (~3 s), drift at the phase
+		// switch (~11 s), and run the re-tune to completion.
+		RunSeconds: 30,
+		// Seed the initial search in the phase-A regime so the phase
+		// switch drifts the session hard and the re-tune has work to do.
+		Config: &rpg2.Config{SeedDistance: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f.Drain()
+
+	for _, e := range f.Journal().Events() {
+		switch e.Type {
+		case "drift-detected":
+			fmt.Printf("drift-detected    rate %.4f vs activation ref %.4f after %d degraded windows\n",
+				e.Rate, e.Ref, e.Windows)
+		case "retune-scheduled":
+			fmt.Printf("retune-scheduled  grant %d, search seeded from the installed d=%d\n",
+				e.Retune, e.Distance)
+		case "retune-complete":
+			fmt.Printf("retune-complete   d=%d at rate %.4f (phase B)\n",
+				e.Distance, e.Rate)
+		}
+	}
+
+	rep := s.Report()
+	fmt.Printf("\noutcome=%v final distance=%d re-tunes=%d\n\n",
+		rep.Outcome, rep.FinalDistance, s.Retunes())
+	fmt.Print(f.Snapshot().Render())
+}

@@ -59,6 +59,19 @@ type Config struct {
 	// BreakerCooldown is how long a tripped breaker stays open in
 	// virtual seconds before admitting a half-open trial (default 16).
 	BreakerCooldown float64
+	// MaxRetunes is the per-item re-tune budget (0 = no re-tune lane).
+	// The re-tune lane is distinct from the retry lane: retries re-run
+	// *failed* attempts with exponential backoff and a derived cold seed,
+	// while re-tunes re-admit *successful* sessions whose tuned distance
+	// has drifted, after a short fixed delay, to re-enter the distance
+	// search warm. A re-tune does not consume retry budget or touch
+	// Attempt.
+	MaxRetunes int
+	// RetuneDelay is the fixed wait before a re-admitted drifted session
+	// re-dispatches, in virtual seconds (default 0.5). No exponential
+	// growth: repeated re-tunes of a phasey workload are the intended
+	// steady state, not an escalating failure.
+	RetuneDelay float64
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +86,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BreakerCooldown == 0 {
 		c.BreakerCooldown = 16
+	}
+	if c.RetuneDelay == 0 {
+		c.RetuneDelay = 0.5
 	}
 	return c
 }
@@ -92,6 +108,9 @@ type Item struct {
 	Payload   any
 	// Attempt counts re-admissions through the retry lane (0 = first).
 	Attempt int
+	// Retune counts re-admissions through the re-tune lane (0 = never
+	// re-tuned). Independent of Attempt: drift repair is not failure.
+	Retune int
 
 	seq      int     // submission order, the FIFO tiebreak
 	waitedAt int     // dispatch-counter timestamp for aging
@@ -137,6 +156,8 @@ type Stats struct {
 	BreakerTrips int `json:"breaker_trips,omitempty"`
 	// Parked counts items dispatched as parked (degraded).
 	Parked int `json:"parked,omitempty"`
+	// Retunes counts re-admissions through the re-tune lane.
+	Retunes int `json:"retunes,omitempty"`
 	// Clock is the current virtual time in seconds.
 	Clock float64 `json:"clock,omitempty"`
 }
@@ -555,6 +576,36 @@ func (q *Queue) Retry(it *Item) (backoff, due float64, ok bool) {
 	})
 	q.stats.Retries++
 	return backoff, it.due, true
+}
+
+// Retune re-admits a drifted-but-successful item through the re-tune
+// lane. It reports the fixed delay and due time, or ok=false when the
+// re-tune budget is spent (or the lane is disabled). The item's Retune
+// count is incremented; its Attempt is untouched. The lane shares the
+// retry lane's due-sorted waiting list and promotion machinery, but none
+// of its policy: no exponential backoff, no retry budget.
+func (q *Queue) Retune(it *Item) (delay, due float64, ok bool) {
+	if q.cfg.MaxRetunes <= 0 || it.Retune >= q.cfg.MaxRetunes {
+		return 0, 0, false
+	}
+	it.Retune++
+	delay = q.cfg.RetuneDelay
+	it.due = q.clock + delay
+	q.retries = append(q.retries, it)
+	q.depthAdd(it.Tenant, 1)
+	sort.SliceStable(q.retries, func(i, j int) bool {
+		return q.retries[i].due < q.retries[j].due
+	})
+	q.stats.Retunes++
+	return delay, it.due, true
+}
+
+// CanRetune reports whether the re-tune lane still has budget for this
+// item. The fleet's watchdog disarms (stops sampling entirely) once the
+// budget is spent, so a drifted session never burns measurement windows
+// on a firing that could not be acted on.
+func (q *Queue) CanRetune(it *Item) bool {
+	return q.cfg.MaxRetunes > 0 && it.Retune < q.cfg.MaxRetunes
 }
 
 // Report feeds a finished attempt's outcome to its key's breaker and

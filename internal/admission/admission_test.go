@@ -516,3 +516,102 @@ func TestUntenantedExemptFromTenantQuota(t *testing.T) {
 		t.Fatal("untenanted items leaked into tenant depth accounting")
 	}
 }
+
+func TestRetuneLaneFixedDelayAndBudget(t *testing.T) {
+	q := NewQueue(Config{MaxRetunes: 2, RetuneDelay: 0.5})
+	it := item(1, Key{Bench: "bc-drift"}, 0)
+	q.Push(it)
+	d, _ := q.Pop()
+	q.Release(d.Item.Key)
+
+	// First re-tune: fixed 0.5 s delay from clock 0.
+	delay, due, ok := q.Retune(it)
+	if !ok || delay != 0.5 || due != 0.5 {
+		t.Fatalf("retune 1: delay=%v due=%v ok=%v, want 0.5/0.5/true", delay, due, ok)
+	}
+	if it.Retune != 1 || it.Attempt != 0 {
+		t.Fatalf("Retune=%d Attempt=%d, want 1/0 (re-tunes must not consume retry budget)",
+			it.Retune, it.Attempt)
+	}
+	d, ok = q.Pop()
+	if !ok || d.Item != it {
+		t.Fatal("re-tuned item did not dispatch")
+	}
+	q.Release(d.Item.Key)
+
+	// Second re-tune: same fixed delay, no exponential growth.
+	if delay, _, _ = q.Retune(it); delay != 0.5 {
+		t.Fatalf("retune 2: delay=%v, want fixed 0.5", delay)
+	}
+	d, _ = q.Pop()
+	q.Release(d.Item.Key)
+	if _, _, ok = q.Retune(it); ok {
+		t.Fatal("retune 3 admitted past MaxRetunes=2")
+	}
+
+	s := q.Stats()
+	if s.Retunes != 2 {
+		t.Fatalf("Retunes = %d, want 2", s.Retunes)
+	}
+	if s.Retries != 0 {
+		t.Fatalf("Retries = %d, want 0 (re-tunes must not count as retries)", s.Retries)
+	}
+}
+
+func TestRetuneDisabledByDefault(t *testing.T) {
+	q := NewQueue(Config{MaxRetries: 3})
+	it := item(1, Key{}, 0)
+	q.Push(it)
+	q.Pop()
+	if _, _, ok := q.Retune(it); ok {
+		t.Fatal("queue without MaxRetunes admitted a re-tune")
+	}
+}
+
+func TestRetuneIndependentOfRetryBudget(t *testing.T) {
+	// An item that exhausted its retries can still re-tune, and vice versa.
+	q := NewQueue(Config{MaxRetries: 1, MaxRetunes: 1})
+	it := item(1, Key{Bench: "pr"}, 0)
+	q.Push(it)
+	d, _ := q.Pop()
+	q.Release(d.Item.Key)
+
+	if _, _, ok := q.Retry(it); !ok {
+		t.Fatal("retry 1 refused")
+	}
+	d, _ = q.Pop()
+	q.Release(d.Item.Key)
+	if _, _, ok := q.Retry(it); ok {
+		t.Fatal("retry 2 admitted past budget")
+	}
+	if _, _, ok := q.Retune(it); !ok {
+		t.Fatal("re-tune refused after retries were spent")
+	}
+	d, _ = q.Pop()
+	q.Release(d.Item.Key)
+	if it.Attempt != 1 || it.Retune != 1 {
+		t.Fatalf("Attempt=%d Retune=%d, want 1/1", it.Attempt, it.Retune)
+	}
+}
+
+func TestRetuneTenantDepthAccounting(t *testing.T) {
+	q := NewQueue(Config{MaxRetunes: 1})
+	it := &Item{ID: 1, Key: Key{Bench: "bc-drift"}, Tenant: "team-a", Breakable: true}
+	q.Push(it)
+	d, _ := q.Pop()
+	q.ReleaseItem(d.Item)
+	if got := q.TenantDepth("team-a"); got != 0 {
+		t.Fatalf("depth after pop = %d, want 0", got)
+	}
+	if _, _, ok := q.Retune(it); !ok {
+		t.Fatal("re-tune refused")
+	}
+	if got := q.TenantDepth("team-a"); got != 1 {
+		t.Fatalf("depth after re-tune = %d, want 1 (lane must be depth-accounted)", got)
+	}
+	d, _ = q.Pop()
+	q.ReleaseItem(d.Item)
+	if got := q.TenantDepth("team-a"); got != 0 {
+		t.Fatalf("depth after re-dispatch = %d, want 0", got)
+	}
+}

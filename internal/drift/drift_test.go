@@ -1,0 +1,126 @@
+package drift
+
+import "testing"
+
+func TestDefaults(t *testing.T) {
+	c := Config{}.Defaults()
+	if c.Window != 0.2 || c.Alpha != 0.4 || c.Threshold != 0.25 || c.Hysteresis != 3 {
+		t.Fatalf("unexpected defaults: %+v", c)
+	}
+	// Explicit values survive.
+	c = Config{Window: 0.5, Alpha: 0.9, Threshold: 0.1, Hysteresis: 5}.Defaults()
+	if c.Window != 0.5 || c.Alpha != 0.9 || c.Threshold != 0.1 || c.Hysteresis != 5 {
+		t.Fatalf("explicit config clobbered: %+v", c)
+	}
+}
+
+func TestSteadyRateNeverFires(t *testing.T) {
+	d := New(Config{}, 0.10)
+	for i := 0; i < 1000; i++ {
+		if d.Observe(0.10) {
+			t.Fatalf("fired at steady reference rate, sample %d", i)
+		}
+	}
+	if d.Fired() != 0 || d.Samples() != 1000 {
+		t.Fatalf("fired=%d samples=%d", d.Fired(), d.Samples())
+	}
+}
+
+func TestMildDegradationWithinThresholdNeverFires(t *testing.T) {
+	// 20% below reference with a 25% threshold: degraded never arms.
+	d := New(Config{Threshold: 0.25}, 0.10)
+	for i := 0; i < 1000; i++ {
+		if d.Observe(0.08) {
+			t.Fatalf("fired within threshold, sample %d", i)
+		}
+	}
+}
+
+func TestSustainedDegradationFires(t *testing.T) {
+	d := New(Config{Alpha: 0.5, Threshold: 0.25, Hysteresis: 3}, 0.10)
+	fired := -1
+	for i := 0; i < 20; i++ {
+		if d.Observe(0.02) {
+			fired = i
+			break
+		}
+	}
+	if fired < 0 {
+		t.Fatal("sustained 80% degradation never fired")
+	}
+	// The EWMA needs a couple of samples to cross, then hysteresis holds
+	// it for 3 consecutive degraded readings.
+	if fired < 2 {
+		t.Fatalf("fired too eagerly at sample %d: hysteresis should delay it", fired)
+	}
+}
+
+func TestTransientDipResetsHysteresis(t *testing.T) {
+	// Alpha 1 makes the EWMA track the raw samples, isolating the
+	// hysteresis logic: two degraded samples, one good one, repeated —
+	// the consecutive count must never reach 3.
+	d := New(Config{Alpha: 1, Threshold: 0.25, Hysteresis: 3}, 0.10)
+	for i := 0; i < 50; i++ {
+		r := 0.02
+		if i%3 == 2 {
+			r = 0.10
+		}
+		if d.Observe(r) {
+			t.Fatalf("fired across transient dips at sample %d", i)
+		}
+	}
+}
+
+func TestRebaseStopsRefire(t *testing.T) {
+	d := New(Config{Alpha: 1, Threshold: 0.25, Hysteresis: 2}, 0.10)
+	fired := false
+	for i := 0; i < 10 && !fired; i++ {
+		fired = d.Observe(0.05)
+	}
+	if !fired {
+		t.Fatal("never fired")
+	}
+	// The new phase's honest ceiling is 0.05: after a rebase, holding
+	// that rate is healthy.
+	d.Rebase(0.05)
+	for i := 0; i < 100; i++ {
+		if d.Observe(0.05) {
+			t.Fatalf("re-fired after rebase at sample %d", i)
+		}
+	}
+}
+
+func TestFiringResetsConsecutiveCount(t *testing.T) {
+	d := New(Config{Alpha: 1, Threshold: 0.25, Hysteresis: 3}, 0.10)
+	count := 0
+	for i := 0; i < 9; i++ {
+		if d.Observe(0.01) {
+			count++
+		}
+	}
+	// 9 degraded samples with hysteresis 3: fires at samples 3, 6, 9 —
+	// not on every sample past the third.
+	if count != 3 {
+		t.Fatalf("fired %d times over 9 degraded samples, want 3", count)
+	}
+}
+
+func TestExportResumeRoundTrip(t *testing.T) {
+	cfg := Config{Alpha: 0.5, Threshold: 0.25, Hysteresis: 4}
+	a := New(cfg, 0.10)
+	for i := 0; i < 3; i++ {
+		a.Observe(0.03)
+	}
+	b := Resume(cfg, a.Export())
+	// Drive both detectors identically: every subsequent decision must
+	// match, including the firing sample.
+	for i := 0; i < 10; i++ {
+		fa, fb := a.Observe(0.03), b.Observe(0.03)
+		if fa != fb {
+			t.Fatalf("resumed detector diverged at sample %d: %v vs %v", i, fa, fb)
+		}
+	}
+	if a.Export() != b.Export() {
+		t.Fatalf("posture diverged: %+v vs %+v", a.Export(), b.Export())
+	}
+}

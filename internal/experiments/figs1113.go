@@ -34,6 +34,12 @@ func (r *Runner) Fig11() (*Fig11Result, error) {
 	m := r.opts.Machines[0]
 	inputs := r.inputsFor("pr")
 	out := &Fig11Result{Machine: m.Name, Points: make([]Fig11Point, len(inputs))}
+	refs := make([]cellRef, len(inputs))
+	for i, in := range inputs {
+		refs[i] = cellRef{"pr", in, m}
+	}
+	thaw := r.warmStart(refs)
+	defer thaw()
 	var specs []fleet.SessionSpec
 	for i, in := range inputs {
 		specs = append(specs, fleet.SessionSpec{
@@ -43,7 +49,7 @@ func (r *Runner) Fig11() (*Fig11Result, error) {
 		})
 		specs = append(specs, fleet.SessionSpec{
 			Bench: "pr", Input: in, Machine: r.mptr(m),
-			Seed: r.opts.Seed + int64(i), Cold: true,
+			Seed: r.opts.Seed + int64(i), Cold: !r.opts.WarmStart,
 			RunSeconds: r.opts.RunSeconds, TailSeconds: 1.0,
 		})
 	}
@@ -136,6 +142,12 @@ type Fig12Result struct {
 func (r *Runner) Fig12() (*Fig12Result, error) {
 	m := r.opts.Machines[0]
 	inputs := r.inputsFor("pr")
+	refs := make([]cellRef, len(inputs))
+	for i, in := range inputs {
+		refs[i] = cellRef{"pr", in, m}
+	}
+	thaw := r.warmStart(refs)
+	defer thaw()
 	var specs []fleet.SessionSpec
 	for i, in := range inputs {
 		specs = append(specs, fleet.SessionSpec{
@@ -145,7 +157,7 @@ func (r *Runner) Fig12() (*Fig12Result, error) {
 		})
 		specs = append(specs, fleet.SessionSpec{
 			Bench: "pr", Input: in, Machine: r.mptr(m),
-			Seed: r.opts.Seed + int64(3*i), Cold: true,
+			Seed: r.opts.Seed + int64(3*i), Cold: !r.opts.WarmStart,
 			RunSeconds: r.opts.RunSeconds, TailSeconds: 1.0,
 		})
 	}

@@ -58,13 +58,20 @@ func (r *Runner) Fig8(benches []string) (*Fig8Result, error) {
 	}
 	out := &Fig8Result{Inputs: len(cells)}
 
+	refs := make([]cellRef, len(cells))
+	for i, c := range cells {
+		refs[i] = cellRef{c.bench, c.input, c.m}
+	}
+	thaw := r.warmStart(refs)
+	defer thaw()
+
 	var specs []fleet.SessionSpec
 	for i, c := range cells {
 		for t := 0; t < r.opts.Trials; t++ {
 			specs = append(specs, fleet.SessionSpec{
 				Bench: c.bench, Input: c.input, Machine: r.mptr(c.m),
 				Seed: r.opts.Seed + int64(31*i+t),
-				Cold: true, RunSeconds: -1,
+				Cold: !r.opts.WarmStart, RunSeconds: -1,
 			})
 		}
 	}
@@ -116,7 +123,9 @@ type Fig9Result struct {
 	Always, Mixed, Never []int
 }
 
-// Fig9 reproduces Figure 9 for pr on the first machine.
+// Fig9 reproduces Figure 9 for pr on the first machine. Its sessions stay
+// cold even under -warm: the study measures activation sensitivity to the
+// profiling window, and a store hit would skip the very phase under test.
 func (r *Runner) Fig9() (*Fig9Result, error) {
 	m := r.opts.Machines[0]
 	durations := []float64{0.5, 1, 2, 4}
@@ -218,7 +227,8 @@ func (r *Runner) Fig10(friendly, hostile string) (*Fig10Result, error) {
 
 // timelineRun performs one fleet session with a post-detach measurement
 // timeline: the controller's own phase timeline plus twelve half-second
-// windows after it detaches.
+// windows after it detaches. It stays cold even under -warm: Figure 10's
+// subject is the anatomy of the full search, which warm seeding shortcuts.
 func (r *Runner) timelineRun(bench, input string, m machine.Machine) (*SessionTimeline, error) {
 	s, err := r.fleet.Submit(fleet.SessionSpec{
 		Bench: bench, Input: input, Machine: r.mptr(m),

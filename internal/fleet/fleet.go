@@ -16,6 +16,7 @@ import (
 
 	"rpg2/internal/admission"
 	"rpg2/internal/baselines"
+	"rpg2/internal/drift"
 	"rpg2/internal/faults"
 	"rpg2/internal/machine"
 	rpgcore "rpg2/internal/rpg2"
@@ -77,15 +78,20 @@ func (s State) Terminal() bool {
 var legalNext = map[State][]State{
 	// Queued -> Done covers a target that exits during init-wait,
 	// before the controller's first phase hook fires; Queued -> Degraded
-	// is a session parked by an open circuit breaker.
-	Queued:    {Profiling, Done, Failed, Degraded},
+	// is a session parked by an open circuit breaker; Queued -> Tuning is
+	// a live re-tune dispatch, which skips profiling and rewriting (the
+	// injected kernel is already in place — only the distance moves).
+	Queued:    {Profiling, Tuning, Done, Failed, Degraded},
 	Profiling: {Rewriting, Tuning, Done, RolledBack, Failed},
 	Rewriting: {Tuning, Done, RolledBack, Failed},
 	Tuning:    {Done, RolledBack, Failed},
 	// Retry re-admissions: a failed or rolled-back attempt re-enters the
-	// queue as a cold re-profile attempt.
+	// queue as a cold re-profile attempt. Done -> Queued is the re-tune
+	// lane: the watchdog re-admits a *successful* session whose tuned
+	// distance drifted stale.
 	Failed:     {Queued},
 	RolledBack: {Queued},
+	Done:       {Queued},
 }
 
 // Kind selects what a fleet session does with its target. The zero value
@@ -211,6 +217,26 @@ type Session struct {
 	tail        []rpgcore.TimelinePoint
 	err         error
 	wall        time.Duration
+
+	// Drift-watchdog state (zero/nil unless Config.WatchdogInterval armed
+	// the watchdog for this session). live is the in-process core session
+	// retained past Done so the watchdog can keep sampling and a re-tune
+	// can re-enter the search against the still-injected kernel; det is
+	// the session's degradation detector; retunes counts completed
+	// re-tunes; retuning marks a granted re-tune that has not completed
+	// (its next dispatch is a re-tune, not an optimize); retuneDistance
+	// seeds the warm re-tune search; recoveredDet is a crash-recovered
+	// detector posture to resume; tier remembers how the session was
+	// seeded for its eventual terminal metrics; windowMark is the detector
+	// sample count when the current watch episode was armed.
+	live           *rpgcore.Session
+	det            *drift.Detector
+	recoveredDet   *drift.State
+	tier           seedTier
+	retunes        int
+	retuning       bool
+	retuneDistance int
+	windowMark     int
 }
 
 // State returns the session's current lifecycle state.
@@ -226,6 +252,22 @@ func (s *Session) Attempt() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.attempt
+}
+
+// Retunes returns how many re-tune lane passes the session completed
+// (0 for a session the watchdog never re-admitted).
+func (s *Session) Retunes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retunes
+}
+
+// Retuning reports whether the session holds a granted re-tune that has
+// not completed: its next dispatch re-enters the distance search.
+func (s *Session) Retuning() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retuning
 }
 
 // Warm reports whether the session was seeded from the profile store.
@@ -416,6 +458,44 @@ type Config struct {
 	// the retry and breaker machinery.
 	Faults *faults.Injector
 
+	// --- Continuous re-tuning knobs (internal/drift). WatchdogInterval 0
+	// (the zero value) disables the watchdog entirely: no post-activation
+	// sampling, no drift events, and journals, metrics, and WAL files stay
+	// byte-identical to a fleet without the subsystem. ---
+
+	// WatchdogInterval arms the phase-drift watchdog: after a tuned
+	// optimize session activates, the fleet keeps the target attached
+	// through its run budget and samples the miss-site retirement rate
+	// every this many simulated seconds. A session whose smoothed rate
+	// sustains a drop past WatchdogThreshold versus the rate recorded at
+	// activation is re-admitted into the admission queue's re-tune lane.
+	WatchdogInterval float64
+	// WatchdogWindow is the measured window per watchdog sample in
+	// simulated seconds (default 0.2) — the sampler's whole overhead.
+	WatchdogWindow float64
+	// WatchdogThreshold is the relative degradation versus the activation
+	// rate beyond which a sample counts as degraded (default 0.25).
+	WatchdogThreshold float64
+	// WatchdogHysteresis is how many consecutive degraded samples fire the
+	// watchdog (default 3); one good sample resets the count.
+	WatchdogHysteresis int
+	// MaxRetunes bounds re-tune lane admissions per session (default 1
+	// when the watchdog is armed). The lane is distinct from MaxRetries:
+	// it re-admits *successful* sessions whose tuned distance went stale,
+	// seeds the next search from the current distance instead of cold, and
+	// never consumes (or is consumed by) the retry budget.
+	MaxRetunes int
+	// RetuneDelay is the fixed virtual-seconds delay before a scheduled
+	// re-tune dispatches (default 0.5). Unlike retry backoff it does not
+	// grow exponentially: a re-tune is expected maintenance, not a
+	// suspect failure.
+	RetuneDelay float64
+	// RetuneCold makes re-tunes restart the distance search from a random
+	// initial distance instead of warm-seeding from the drifted session's
+	// installed distance — the ablation baseline TableDrift compares the
+	// warm lane against.
+	RetuneCold bool
+
 	// --- Persistence knobs (internal/wal). StateDir empty (the zero
 	// value) keeps the fleet purely in-memory, byte-identical to the
 	// pre-WAL fleet. ---
@@ -459,6 +539,14 @@ func (c Config) defaults() Config {
 	}
 	if c.Builds == nil {
 		c.Builds = workloads.SharedCache()
+	}
+	if c.WatchdogInterval > 0 {
+		if c.WatchdogWindow == 0 {
+			c.WatchdogWindow = 0.2
+		}
+		if c.MaxRetunes == 0 {
+			c.MaxRetunes = 1
+		}
 	}
 	return c
 }
@@ -545,6 +633,8 @@ func newFleet(cfg Config) *Fleet {
 			Quota:            cfg.Quota,
 			TenantQuota:      cfg.TenantQuota,
 			MaxRetries:       cfg.MaxRetries,
+			MaxRetunes:       cfg.MaxRetunes,
+			RetuneDelay:      cfg.RetuneDelay,
 			BackoffBase:      cfg.RetryBackoff,
 			BackoffCap:       cfg.RetryBackoffCap,
 			AgingStep:        cfg.AgingStep,
@@ -578,7 +668,7 @@ func (f *Fleet) initPersist() {
 			return
 		}
 	}
-	p, err := openPersister(f.cfg.StateDir, f.cfg.Fsync, f.cfg.FsyncInterval, f.cfg.SnapshotEvery, f.sched.Export(), f.captureStore())
+	p, err := openPersister(f.cfg.StateDir, f.cfg.Fsync, f.cfg.FsyncInterval, f.cfg.SnapshotEvery, f.sched.Export(), f.captureDrift(), f.captureStore())
 	if err != nil {
 		f.persist = degradedPersister(f.cfg.StateDir, err)
 		return
@@ -752,8 +842,9 @@ func (f *Fleet) persistSnapshot() {
 	w := f.persist.watermark()
 	f.mu.Lock()
 	sched := f.sched.Export()
+	dr := f.captureDriftLocked()
 	f.mu.Unlock()
-	f.persist.writeSnapshot(w, sched, f.captureStore())
+	f.persist.writeSnapshot(w, sched, dr, f.captureStore())
 }
 
 // captureStore snapshots the store's contents in its shard layout, for a
@@ -1043,6 +1134,10 @@ func (f *Fleet) finishAux(s *Session, started time.Time) {
 // large odd constant works, it only has to be deterministic.
 const retrySeedStride = 1_000_003
 
+// retuneSeedStride separates re-tune passes' controller seeds the same
+// way, on an axis independent of the retry attempt's.
+const retuneSeedStride = 7_368_787
+
 // runSession dispatches one admitted session to its kind's runner.
 func (f *Fleet) runSession(s *Session) {
 	started := time.Now()
@@ -1062,6 +1157,10 @@ func (f *Fleet) runSession(s *Session) {
 	case APTGETJob:
 		f.runAPTGET(s, started, m)
 	default:
+		if s.Retuning() {
+			f.runRetune(s, started, m)
+			return
+		}
 		f.runOptimize(s, started, m)
 	}
 }
@@ -1081,9 +1180,21 @@ func (f *Fleet) runOptimize(s *Session, started time.Time, m machine.Machine) {
 		cfg = *s.Spec.Config
 	}
 	attempt := s.Attempt()
+	// A session re-dispatched through the re-tune lane whose live target
+	// died with a previous process (crash recovery) falls back to a full
+	// re-optimize here, still under the lane's discipline: store bypassed,
+	// search warm-seeded from the persisted distance.
+	retuning := s.Retuning()
+	granted := 0
+	if retuning {
+		f.mu.Lock()
+		granted = s.item.Retune
+		f.mu.Unlock()
+	}
 	// Each retry attempt derives a fresh deterministic seed so a rolled-
-	// back search does not replay the same random starting distance.
-	cfg.Seed = s.Spec.Seed + int64(attempt)*retrySeedStride
+	// back search does not replay the same random starting distance;
+	// re-tune passes stride on an independent axis.
+	cfg.Seed = s.Spec.Seed + int64(attempt)*retrySeedStride + int64(granted)*retuneSeedStride
 	if f.cfg.Faults != nil {
 		userFault := cfg.FaultHook
 		injected := f.cfg.Faults.Hook(s.Spec.Seed, attempt)
@@ -1099,7 +1210,8 @@ func (f *Fleet) runOptimize(s *Session, started time.Time, m machine.Machine) {
 
 	// Retry attempts run cold by design: the cached profile (or the luck
 	// of the first attempt) is suspect, so they re-profile from scratch.
-	cold := s.Spec.Cold || f.cfg.DisableStore || attempt > 0
+	// Re-tune fallbacks run cold too: the lane never touches the store.
+	cold := s.Spec.Cold || f.cfg.DisableStore || attempt > 0 || retuning
 	var seed Entry
 	var seedGen uint64
 	var seedKey Key
@@ -1111,6 +1223,8 @@ func (f *Fleet) runOptimize(s *Session, started time.Time, m machine.Machine) {
 		// attempt make exactly one store disposition.
 		reason := "cold"
 		switch {
+		case retuning:
+			reason = "retune"
 		case attempt > 0:
 			reason = "retry"
 		case f.cfg.DisableStore:
@@ -1120,7 +1234,7 @@ func (f *Fleet) runOptimize(s *Session, started time.Time, m machine.Machine) {
 		f.journal.add(Event{
 			Session: s.ID, Type: "store-bypass", Reason: reason,
 			Bench: s.Spec.Bench, Input: s.Spec.Input, Machine: m.Name,
-			Attempt: attempt,
+			Attempt: attempt, Retune: granted,
 		})
 	} else {
 		if e, gen, ok := f.store.Lookup(key); ok {
@@ -1172,6 +1286,15 @@ func (f *Fleet) runOptimize(s *Session, started time.Time, m machine.Machine) {
 			})
 		}
 	}
+	if retuning && !f.cfg.RetuneCold {
+		// The lane's warm seed: re-enter the search from the distance the
+		// drifted session had installed, with the warm ±2 gradient span.
+		s.mu.Lock()
+		if s.retuneDistance > 0 {
+			cfg.SeedDistance = s.retuneDistance
+		}
+		s.mu.Unlock()
+	}
 	s.mu.Lock()
 	s.warm = warm
 	s.translated = translated
@@ -1220,12 +1343,25 @@ func (f *Fleet) runOptimize(s *Session, started time.Time, m machine.Machine) {
 		f.failSession(s, started, err)
 		return
 	}
+	if retuning {
+		// The fallback re-optimize closes the crash-recovered re-tune
+		// lane pass (journaling retune-complete when it re-activated).
+		f.finishRetune(s, rep, m)
+	}
+	tier := tierCold
+	switch {
+	case warm:
+		tier = tierWarm
+	case translated:
+		tier = tierTranslated
+	}
 
 	// Let the optimized (or untouched) target run out its budget, as a
 	// fleet operator would leave the service attached to a live process.
 	// A measured spec (TailSeconds > 0) ends with a trailing window
 	// instead; a timeline spec (TailWindows > 0) measures the post-detach
-	// windows of Figure 10.
+	// windows of Figure 10. An armed watchdog replaces the blind run-out
+	// with drift sampling and owns the session's terminal bookkeeping.
 	run, wantRun := f.runSeconds(s)
 	switch {
 	case s.Spec.TailSeconds > 0 && wantRun:
@@ -1250,6 +1386,13 @@ func (f *Fleet) runOptimize(s *Session, started time.Time, m machine.Machine) {
 		s.tail = tail
 		s.mu.Unlock()
 	case wantRun:
+		if f.cfg.WatchdogInterval > 0 && rep.Outcome == rpgcore.Tuned {
+			if !cold {
+				f.applyStorePolicy(s, key, rep, warm, seed, seedGen)
+			}
+			f.finishWatched(s, sess, rep, started, m, run, tier)
+			return
+		}
 		sess.RunOut(run)
 	}
 
@@ -1285,19 +1428,13 @@ func (f *Fleet) runOptimize(s *Session, started time.Time, m machine.Machine) {
 		return
 	}
 
-	tier := tierCold
-	switch {
-	case warm:
-		tier = tierWarm
-	case translated:
-		tier = tierTranslated
-	}
 	f.metrics.finish(rep.Outcome.String(), tier, rep.Costs.PDEdits, s.Wall())
 	f.journal.add(Event{
 		Session: s.ID, Type: "session-done", State: final.String(),
 		Kind:  s.Spec.Kind.String(),
 		Bench: s.Spec.Bench, Input: s.Spec.Input, Machine: m.Name,
 		Warm: warm, Translated: translated, Report: rep, Attempt: s.Attempt(),
+		Retune: s.Retunes(),
 	})
 }
 

@@ -24,7 +24,8 @@ type Event struct {
 	// "store-miss", "store-translated", "store-bypass", "store-commit",
 	// "store-invalidate", "retry-scheduled", "breaker-open",
 	// "breaker-closed", "session-done", "session-failed",
-	// "session-degraded".
+	// "session-degraded", "drift-detected", "retune-scheduled",
+	// "retune-complete".
 	Type string `json:"type"`
 	// Bench and Input name the session's workload.
 	Bench string `json:"bench,omitempty"`
@@ -68,6 +69,21 @@ type Event struct {
 	Due     float64 `json:"due,omitempty"`
 	// Wait is the virtual backoff wait an "admitted" dispatch consumed.
 	Wait float64 `json:"wait,omitempty"`
+	// Retune is the re-tune lane grant index the event belongs to — a
+	// budget separate from Attempt, consumed by the phase-drift watchdog,
+	// never by failures. Drift is not rollback: these events coexist with
+	// (and are never conflated into) the retry/breaker vocabulary.
+	Retune int `json:"retune,omitempty"`
+	// Rate and Ref describe a "drift-detected" event: the smoothed
+	// miss-site retirement rate that tripped the detector and the
+	// activation-time reference it degraded from. Rate also rides on
+	// "retune-complete" as the re-tuned activation rate.
+	Rate float64 `json:"rate,omitempty"`
+	Ref  float64 `json:"ref,omitempty"`
+	// Windows is how many watchdog sample windows elapsed between the
+	// (re-)activation and the firing — the detection half of the
+	// recovery-latency accounting.
+	Windows int `json:"windows,omitempty"`
 	// Err carries the failure for "session-failed" events.
 	Err string `json:"error,omitempty"`
 	// Report is the full controller report for "session-done" events.

@@ -38,6 +38,15 @@ type metrics struct {
 	warmProbe  []int          // search probes per warm session that searched
 	transProbe []int          // search probes per translated session that searched
 	bypasses   map[string]int // store-bypass reason -> count
+
+	// Phase-drift watchdog counters. driftDetected counts detector firings
+	// that were acted on; retuneWindows accumulates the sample windows from
+	// (re-)activation to each firing — the detection half of recovery
+	// latency. All stay zero when the watchdog is disarmed.
+	driftDetected    int
+	retunesScheduled int
+	retunesCompleted int
+	retuneWindows    int
 }
 
 func newMetrics() *metrics {
@@ -115,6 +124,23 @@ func (m *metrics) retry() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.retries++
+}
+
+// retuneScheduled records one acted-on watchdog firing and the sample
+// windows it took to detect.
+func (m *metrics) retuneScheduled(windows int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.driftDetected++
+	m.retunesScheduled++
+	m.retuneWindows += windows
+}
+
+// retuneComplete records one re-tune lane pass that re-activated.
+func (m *metrics) retuneComplete() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.retunesCompleted++
 }
 
 // Snapshot is a point-in-time view of the fleet's health — the counters the
@@ -207,9 +233,19 @@ type Snapshot struct {
 	TranslatedProbesMean float64 `json:"translated_probes_mean"`
 
 	// StoreBypasses counts optimize attempts that skipped the store
-	// entirely, by reason ("cold", "retry", "disabled") — the demand the
-	// hit rate never sees. Empty (and omitted) when every attempt asked.
+	// entirely, by reason ("cold", "retry", "retune", "disabled") — the
+	// demand the hit rate never sees. Empty (and omitted) when every
+	// attempt asked.
 	StoreBypasses map[string]int `json:"store_bypasses,omitempty"`
+
+	// Phase-drift watchdog counters: detector firings acted on, re-tune
+	// lane admissions, re-tunes that re-activated, and the mean sample
+	// windows from activation to detection. All omitted when the watchdog
+	// is disarmed, so zero-knob snapshots are byte-identical.
+	DriftDetected     int     `json:"drift_detected,omitempty"`
+	RetunesScheduled  int     `json:"retunes_scheduled,omitempty"`
+	RetunesCompleted  int     `json:"retunes_completed,omitempty"`
+	DetectWindowsMean float64 `json:"detect_windows_mean,omitempty"`
 }
 
 func percentile(sorted []float64, q float64) float64 {
@@ -261,6 +297,12 @@ func (m *metrics) snapshot(st Store, builds *workloads.BuildCache, workers, queu
 		ColdProbesMean:       meanInt(m.coldProbe),
 		WarmProbesMean:       meanInt(m.warmProbe),
 		TranslatedProbesMean: meanInt(m.transProbe),
+		DriftDetected:        m.driftDetected,
+		RetunesScheduled:     m.retunesScheduled,
+		RetunesCompleted:     m.retunesCompleted,
+	}
+	if m.driftDetected > 0 {
+		s.DetectWindowsMean = float64(m.retuneWindows) / float64(m.driftDetected)
 	}
 	if len(m.bypasses) > 0 {
 		s.StoreBypasses = make(map[string]int, len(m.bypasses))
@@ -391,6 +433,10 @@ func (s Snapshot) Render() string {
 	}
 	fmt.Fprintf(&b, "  resilience     %d retries (%.1fs backoff), %d quota stalls, %d breaker trips (%d open)\n",
 		s.Retries, s.BackoffWaitSecs, s.QuotaStalls, s.BreakerTrips, s.BreakersOpen)
+	if s.DriftDetected > 0 || s.RetunesScheduled > 0 {
+		fmt.Fprintf(&b, "  drift watchdog %d drift firings (%.1f windows mean to detect), %d re-tunes scheduled, %d re-activated\n",
+			s.DriftDetected, s.DetectWindowsMean, s.RetunesScheduled, s.RetunesCompleted)
+	}
 	// Per-key breaker detail: which (bench, input) keys are in trouble and
 	// how deep, not just how many are open.
 	for _, br := range s.Breakers {

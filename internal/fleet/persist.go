@@ -21,6 +21,7 @@ import (
 
 	"rpg2/internal/admission"
 	"rpg2/internal/baselines"
+	"rpg2/internal/drift"
 	"rpg2/internal/machine"
 	"rpg2/internal/wal"
 )
@@ -143,6 +144,27 @@ type walSched struct {
 	Sched *admission.PersistState `json:"sched"`
 }
 
+// DriftRecord is one session's persisted watchdog posture: the re-tune
+// lane grants consumed, completed re-tunes, whether a re-tune admission
+// is in flight, the warm seed distance it would start from, and the
+// detector's exported state. A WAL snapshot carries one per session with
+// an armed watchdog so Recover resumes them armed.
+type DriftRecord struct {
+	Session  int         `json:"session"`
+	Granted  int         `json:"granted,omitempty"`
+	Retunes  int         `json:"retunes,omitempty"`
+	Retuning bool        `json:"retuning,omitempty"`
+	Distance int         `json:"distance,omitempty"`
+	Detector drift.State `json:"detector"`
+}
+
+// walDrift frames the watchdog records inside a snapshot file. The record
+// is only written when at least one session has drift state, so zero-knob
+// snapshots stay byte-identical to the pre-watchdog fleet.
+type walDrift struct {
+	Drift []DriftRecord `json:"drift"`
+}
+
 // persister owns the fleet's on-disk state. All methods are safe for
 // concurrent use and degrade (rather than fail) on disk errors.
 type persister struct {
@@ -175,7 +197,7 @@ type persister struct {
 // journal, then snapshot — would let a crash between the two lose both.
 // An error means the state dir is unusable (nothing was destroyed) and
 // the fleet should degrade from birth.
-func openPersister(dir string, fsync wal.SyncMode, interval, snapEvery int, sched admission.PersistState, ss storeState) (*persister, error) {
+func openPersister(dir string, fsync wal.SyncMode, interval, snapEvery int, sched admission.PersistState, dr []DriftRecord, ss storeState) (*persister, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -186,7 +208,7 @@ func openPersister(dir string, fsync wal.SyncMode, interval, snapEvery int, sche
 		ss.shards = 1
 	}
 	epoch := prevEpoch(dir) + 1
-	if err := writeSnapshotSet(dir, epoch, -1, sched, ss); err != nil {
+	if err := writeSnapshotSet(dir, epoch, -1, sched, dr, ss); err != nil {
 		return nil, err
 	}
 	// The fresh epoch's snapshot set is durable in the configured layout;
@@ -340,9 +362,10 @@ func (p *persister) watermark() int {
 }
 
 // snapshotPayloads frames a single-file snapshot's records: meta,
-// scheduler state, store entries — the pre-sharding format, byte-for-byte.
-func snapshotPayloads(epoch, seq int, sched admission.PersistState, entries []KeyedEntry) ([][]byte, error) {
-	payloads := make([][]byte, 0, len(entries)+2)
+// scheduler state, watchdog state (only when non-empty, keeping zero-knob
+// snapshots in the pre-watchdog format byte-for-byte), store entries.
+func snapshotPayloads(epoch, seq int, sched admission.PersistState, dr []DriftRecord, entries []KeyedEntry) ([][]byte, error) {
+	payloads := make([][]byte, 0, len(entries)+3)
 	meta, _ := json.Marshal(walMeta{Wal: "snapshot", Epoch: epoch, Seq: seq})
 	payloads = append(payloads, meta)
 	sc, err := json.Marshal(walSched{Sched: &sched})
@@ -350,6 +373,13 @@ func snapshotPayloads(epoch, seq int, sched admission.PersistState, entries []Ke
 		return nil, fmt.Errorf("encode scheduler state: %w", err)
 	}
 	payloads = append(payloads, sc)
+	if len(dr) > 0 {
+		db, err := json.Marshal(walDrift{Drift: dr})
+		if err != nil {
+			return nil, fmt.Errorf("encode drift state: %w", err)
+		}
+		payloads = append(payloads, db)
+	}
 	for _, ke := range entries {
 		b, err := json.Marshal(ke)
 		if err != nil {
@@ -380,14 +410,23 @@ func shardPayloads(epoch, seq, shard, shards int, entries []KeyedEntry) ([][]byt
 
 // manifestPayloads frames the manifest that seals a shard set: meta
 // (epoch, watermark, shard count) plus the scheduler state as its own
-// record.
-func manifestPayloads(epoch, seq, shards int, sched admission.PersistState) ([][]byte, error) {
+// record, then the watchdog state when non-empty (shard files stay purely
+// store data).
+func manifestPayloads(epoch, seq, shards int, sched admission.PersistState, dr []DriftRecord) ([][]byte, error) {
 	meta, _ := json.Marshal(walMeta{Wal: "manifest", Epoch: epoch, Seq: seq, Shards: shards})
 	sc, err := json.Marshal(walSched{Sched: &sched})
 	if err != nil {
 		return nil, fmt.Errorf("encode scheduler state: %w", err)
 	}
-	return [][]byte{meta, sc}, nil
+	payloads := [][]byte{meta, sc}
+	if len(dr) > 0 {
+		db, err := json.Marshal(walDrift{Drift: dr})
+		if err != nil {
+			return nil, fmt.Errorf("encode drift state: %w", err)
+		}
+		payloads = append(payloads, db)
+	}
+	return payloads, nil
 }
 
 // writeSnapshotSet writes a full store+scheduler snapshot in the given
@@ -396,13 +435,13 @@ func manifestPayloads(epoch, seq, shards int, sched admission.PersistState) ([][
 // shard file is durable before the manifest that vouches for the set, so
 // at any crash instant the newest *complete* manifest (or legacy
 // snapshot) names a watermark all its shard files have folded in.
-func writeSnapshotSet(dir string, epoch, seq int, sched admission.PersistState, ss storeState) error {
+func writeSnapshotSet(dir string, epoch, seq int, sched admission.PersistState, dr []DriftRecord, ss storeState) error {
 	if ss.shards <= 1 {
 		var entries []KeyedEntry
 		if len(ss.perShard) > 0 {
 			entries = ss.perShard[0]
 		}
-		payloads, err := snapshotPayloads(epoch, seq, sched, entries)
+		payloads, err := snapshotPayloads(epoch, seq, sched, dr, entries)
 		if err != nil {
 			return err
 		}
@@ -421,7 +460,7 @@ func writeSnapshotSet(dir string, epoch, seq int, sched admission.PersistState, 
 			return err
 		}
 	}
-	payloads, err := manifestPayloads(epoch, seq, ss.shards, sched)
+	payloads, err := manifestPayloads(epoch, seq, ss.shards, sched, dr)
 	if err != nil {
 		return err
 	}
@@ -432,14 +471,14 @@ func writeSnapshotSet(dir string, epoch, seq int, sched admission.PersistState, 
 // manifest) with the given state, covering journal events up to seq.
 // Callers serialize: the fleet holds its snapshot mutex across capture and
 // write, so two writes never share a temp file.
-func (p *persister) writeSnapshot(seq int, sched admission.PersistState, ss storeState) {
+func (p *persister) writeSnapshot(seq int, sched admission.PersistState, dr []DriftRecord, ss storeState) {
 	p.mu.Lock()
 	if p.degraded || p.closed {
 		p.mu.Unlock()
 		return
 	}
 	p.mu.Unlock()
-	err := writeSnapshotSet(p.dir, p.epoch, seq, sched, ss)
+	err := writeSnapshotSet(p.dir, p.epoch, seq, sched, dr, ss)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if err != nil {

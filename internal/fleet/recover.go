@@ -38,6 +38,7 @@ import (
 	"strings"
 
 	"rpg2/internal/admission"
+	"rpg2/internal/drift"
 	rpgcore "rpg2/internal/rpg2"
 	"rpg2/internal/wal"
 )
@@ -78,9 +79,13 @@ type Recovery struct {
 	// Requeued holds the re-admitted sessions' new handles, in the old
 	// admission order; RequeuedWaiting of them were still waiting at the
 	// crash, RequeuedInFlight were mid-run (and re-run cold).
+	// RequeuedRetuning counts the re-admissions that were in the re-tune
+	// lane — their consumed grants, warm seed distance, and detector
+	// posture are restored, so the lane survives the crash intact.
 	Requeued         []*Session `json:"-"`
 	RequeuedWaiting  int        `json:"requeued_waiting"`
 	RequeuedInFlight int        `json:"requeued_in_flight"`
+	RequeuedRetuning int        `json:"requeued_retuning,omitempty"`
 	// Records distils every pre-crash session for callers that serve
 	// session lookups across a restart (the daemon): terminal sessions
 	// keep their journaled outcome, re-admitted ones carry their new live
@@ -101,6 +106,8 @@ type RecoveredSession struct {
 	Warm       bool
 	Translated bool
 	Attempt    int
+	Retunes    int
+	Retuning   bool
 	Report     *rpgcore.Report
 	Session    *Session
 }
@@ -113,6 +120,9 @@ func (r *Recovery) Summary() string {
 		r.RequeuedWaiting, r.RequeuedInFlight, r.StoreEntries, r.Breakers)
 	if r.Resharded {
 		fmt.Fprintf(&b, "; re-sharded %d -> %d shard layout", r.SnapshotShards, r.StoreShards)
+	}
+	if r.RequeuedRetuning > 0 {
+		fmt.Fprintf(&b, "; %d in the re-tune lane", r.RequeuedRetuning)
 	}
 	if !r.JournalSalvage.Clean() {
 		fmt.Fprintf(&b, "; journal salvage: %s", r.JournalSalvage)
@@ -138,6 +148,16 @@ type pendingSession struct {
 	// inFlight: the session was mid-run at the crash; its attempt is
 	// already bumped and the re-run goes cold with a derived seed.
 	inFlight bool
+	// Re-tune lane posture: grants already consumed, re-tunes completed,
+	// whether a re-tune admission was pending or mid-dispatch (the grant
+	// stays consumed; the attempt is NOT bumped — the lane, not the retry
+	// lane, owns the re-dispatch), the warm seed distance, and the
+	// detector posture to resume.
+	granted        int
+	retunes        int
+	retuning       bool
+	retuneDistance int
+	det            *drift.State
 }
 
 // recoveredState is everything readState distils from the state dir.
@@ -219,6 +239,34 @@ func Recover(stateDir string, cfg Config) (*Fleet, *Recovery, error) {
 	}
 	for _, ps := range st.pending {
 		s := f.submitRecovered(ps.spec, ps.attempt)
+		if ps.granted > 0 || ps.retunes > 0 || ps.retuning || ps.det != nil {
+			// Restore the re-tune lane posture before workers can dispatch
+			// the session: consumed grants, completed count, warm seed, and
+			// the detector to resume once the re-run re-activates.
+			f.mu.Lock()
+			s.item.Retune = ps.granted
+			f.mu.Unlock()
+			s.mu.Lock()
+			s.retunes = ps.retunes
+			s.retuning = ps.retuning
+			s.retuneDistance = ps.retuneDistance
+			s.recoveredDet = ps.det
+			s.mu.Unlock()
+			if ps.retuning {
+				// Restate the lane in the fresh epoch's journal so a second
+				// crash still sees it. A restated retune-scheduled has no
+				// paired drift-detected: the detection happened in a prior
+				// epoch and is not re-claimed.
+				f.journal.add(Event{
+					Session: s.ID, Type: "retune-scheduled",
+					Kind:  s.Spec.Kind.String(),
+					Bench: s.Spec.Bench, Input: s.Spec.Input,
+					Attempt: ps.attempt, Retune: ps.granted,
+					Distance: ps.retuneDistance,
+				})
+				st.rec.RequeuedRetuning++
+			}
+		}
 		st.rec.Requeued = append(st.rec.Requeued, s)
 		if r := recordOf[ps.oldID]; r != nil {
 			r.Session = s
@@ -343,6 +391,13 @@ func readState(dir string) (*recoveredState, error) {
 		warm       bool
 		translated bool
 		report     *rpgcore.Report
+		// Re-tune lane posture, from the journal's drift events plus the
+		// snapshot's drift records (the detector only lives in the latter).
+		granted        int
+		retunes        int
+		retuning       bool
+		retuneDistance int
+		det            *drift.State
 	}
 	sessions := make(map[int]*track)
 	var order []int
@@ -362,6 +417,21 @@ func readState(dir string) (*recoveredState, error) {
 				tr.inFlight, tr.attempt = true, e.Attempt
 			case "retry-scheduled":
 				tr.inFlight, tr.terminal, tr.attempt = false, false, e.Attempt
+			case "retune-scheduled":
+				// The re-tune lane re-admitted a watched session (or a
+				// previous recovery restated the lane). Never terminal, and
+				// never the retry lane: the attempt is untouched.
+				tr.inFlight, tr.terminal = false, false
+				tr.retuning = true
+				if e.Retune > tr.granted {
+					tr.granted = e.Retune
+				}
+				tr.retuneDistance = e.Distance
+			case "retune-complete":
+				tr.retuning = false
+				if e.Retune > tr.retunes {
+					tr.retunes = e.Retune
+				}
 			case "session-done", "session-degraded":
 				tr.inFlight, tr.terminal = false, true
 				tr.state = e.State
@@ -406,6 +476,33 @@ func readState(dir string) (*recoveredState, error) {
 		}
 	}
 
+	// Fold the snapshot's watchdog records into the tracks. For grants and
+	// completed re-tunes the journal and snapshot converge on max; the
+	// detector posture only exists here. The journal is authoritative for
+	// whether a re-tune admission is pending — except when the snapshot is
+	// from a newer epoch than the journal, in which case it saw further.
+	snapAhead := snapEpoch > journalEpoch
+	for _, d := range snap.drift {
+		tr := sessions[d.Session]
+		if tr == nil {
+			continue // no journal history to attach it to
+		}
+		if d.Granted > tr.granted {
+			tr.granted = d.Granted
+		}
+		if d.Retunes > tr.retunes {
+			tr.retunes = d.Retunes
+		}
+		if snapAhead {
+			tr.retuning = d.Retuning
+		}
+		if tr.retuneDistance == 0 {
+			tr.retuneDistance = d.Distance
+		}
+		det := d.Detector
+		tr.det = &det
+	}
+
 	sort.Ints(order)
 	st.rec.Sessions = len(order)
 	st.maxID = -1
@@ -425,19 +522,26 @@ func readState(dir string) (*recoveredState, error) {
 			st.rec.Records = append(st.rec.Records, RecoveredSession{
 				OldID: id, State: state, Err: tr.errText,
 				Warm: tr.warm, Translated: tr.translated,
-				Attempt: tr.attempt, Report: tr.report,
+				Attempt: tr.attempt, Retunes: tr.retunes, Report: tr.report,
 			})
 			continue
 		}
-		ps := pendingSession{oldID: id, spec: tr.spec.Spec(), attempt: tr.attempt, inFlight: tr.inFlight}
-		if tr.inFlight {
+		ps := pendingSession{
+			oldID: id, spec: tr.spec.Spec(), attempt: tr.attempt, inFlight: tr.inFlight,
+			granted: tr.granted, retunes: tr.retunes, retuning: tr.retuning,
+			retuneDistance: tr.retuneDistance, det: tr.det,
+		}
+		if tr.inFlight && !tr.retuning {
 			// The crash killed the attempt mid-run: the next attempt goes
-			// cold with a derived seed, like any failed attempt.
+			// cold with a derived seed, like any failed attempt. A crash
+			// mid-re-tune-dispatch is the re-tune lane's to re-run instead —
+			// the grant stays consumed and the retry budget stays whole.
 			ps.attempt++
 		}
 		st.pending = append(st.pending, ps)
 		st.rec.Records = append(st.rec.Records, RecoveredSession{
 			OldID: id, State: Queued.String(), Attempt: ps.attempt,
+			Retunes: ps.retunes, Retuning: ps.retuning,
 		})
 	}
 	return st, nil
@@ -453,6 +557,7 @@ type snapState struct {
 	seq     int
 	shards  int
 	sched   *admission.PersistState
+	drift   []DriftRecord
 	entries []KeyedEntry
 	sal     wal.Salvage
 	dirty   bool
@@ -506,6 +611,11 @@ func readLegacySnap(dir string) (snapState, error) {
 			ss.sched = sc.Sched
 			continue
 		}
+		var wd walDrift
+		if json.Unmarshal(rec, &wd) == nil && len(wd.Drift) > 0 {
+			ss.drift = wd.Drift
+			continue
+		}
 		var ke KeyedEntry
 		if json.Unmarshal(rec, &ke) == nil && ke.Key.Bench != "" {
 			ss.entries = append(ss.entries, ke)
@@ -550,6 +660,11 @@ func readShardedSnap(dir string) (snapState, error) {
 		var sc walSched
 		if json.Unmarshal(rec, &sc) == nil && sc.Sched != nil {
 			ss.sched = sc.Sched
+			continue
+		}
+		var wd walDrift
+		if json.Unmarshal(rec, &wd) == nil && len(wd.Drift) > 0 {
+			ss.drift = wd.Drift
 		}
 	}
 	names, _ := filepath.Glob(filepath.Join(dir, "shard-*.wal"))

@@ -600,7 +600,7 @@ func TestRecoverSurvivesInterruptedRecovery(t *testing.T) {
 // store-commit threshold get exactly one snapshot claim.
 func TestClaimSnapshotSingleWinner(t *testing.T) {
 	dir := t.TempDir()
-	p, err := openPersister(dir, wal.SyncOnClose, 0, 4, admission.PersistState{}, storeState{shards: 1})
+	p, err := openPersister(dir, wal.SyncOnClose, 0, 4, admission.PersistState{}, nil, storeState{shards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -270,6 +270,11 @@ type Report struct {
 	baselineMetric float64
 	// explored caches full measurements per distance.
 	explored map[int]measurement
+	// ins is the live insertion handle of a Tuned session, retained so a
+	// later Retune can re-enter the distance search against the injected
+	// code without re-profiling. In-process only: it does not survive
+	// JSON (see Report.CanRetune).
+	ins *insertion
 }
 
 // Controller runs RPG² against one target process.
@@ -471,6 +476,7 @@ func (c *Controller) Optimize(p *proc.Process) (*Report, error) {
 	}
 	r.FinalDistance = best.d
 	r.Outcome = Tuned
+	r.ins = ins
 	record("tuned", best.ipc, best.rate)
 	return r, nil
 }

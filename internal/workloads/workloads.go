@@ -192,6 +192,12 @@ func Build(bench, input string, repeats int) (*Workload, error) {
 		return RandAcc(repeats)
 	case "chase":
 		return Chase(repeats)
+	case "bc-drift":
+		return BCDrift(repeats)
+	case "is-drift":
+		return ISDrift(repeats)
+	case "chase-drift":
+		return ChaseDrift(repeats)
 	}
 	return nil, fmt.Errorf("workloads: unknown benchmark %q", bench)
 }

@@ -65,6 +65,12 @@ type Workload = workloads.Workload
 // Benchmarks lists the available benchmark names (CRONO then AJ).
 func Benchmarks() []string { return workloads.AllNames() }
 
+// DriftBenchmarks lists the drifting benchmarks — workloads whose access
+// pattern shifts mid-run, the targets of the fleet's phase-drift
+// watchdog. They are not in Benchmarks: stock sweeps stay byte-identical;
+// callers opt in by name.
+func DriftBenchmarks() []string { return workloads.DriftNames() }
+
 // GraphInput describes one catalogue graph input.
 type GraphInput = graphs.Input
 
