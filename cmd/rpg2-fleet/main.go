@@ -77,6 +77,12 @@ type options struct {
 	resume   bool
 	fresh    bool
 	fsync    string
+
+	// Disk-chaos knobs.
+	diskWrite    float64
+	diskSync     float64
+	diskSnapshot float64
+	rearmBackoff int
 }
 
 func main() {
@@ -109,6 +115,10 @@ func main() {
 	flag.BoolVar(&o.resume, "resume", false, "recover the state dir and finish its interrupted sessions instead of submitting new work")
 	flag.BoolVar(&o.fresh, "fresh", false, "discard a state dir's interrupted run and start a fresh epoch (default: refuse)")
 	flag.StringVar(&o.fsync, "fsync", "interval", "WAL durability: interval, always, or never")
+	flag.Float64Var(&o.diskWrite, "chaos-disk-write", 0, "probability a WAL write fails with an injected disk fault (0 = off)")
+	flag.Float64Var(&o.diskSync, "chaos-disk-sync", 0, "probability a WAL fsync fails with an injected disk fault")
+	flag.Float64Var(&o.diskSnapshot, "chaos-disk-snapshot", 0, "probability a snapshot rewrite fails with an injected disk fault")
+	flag.IntVar(&o.rearmBackoff, "rearm-backoff", 0, "journal events to wait before degraded persistence retries re-arming (0 = default 64, negative = stay degraded)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -221,6 +231,15 @@ func run(o options) error {
 	if o.faults > 0 {
 		cfg.Faults = rpg2.NewFaultInjector(rpg2.FaultConfig{Seed: o.faultSeed, Rate: o.faults})
 	}
+	if o.diskWrite > 0 || o.diskSync > 0 || o.diskSnapshot > 0 {
+		cfg.DiskFaults = rpg2.NewDiskFaultInjector(rpg2.DiskFaultConfig{
+			Seed:         o.faultSeed,
+			WriteRate:    o.diskWrite,
+			SyncRate:     o.diskSync,
+			SnapshotRate: o.diskSnapshot,
+		})
+	}
+	cfg.RearmBackoff = o.rearmBackoff
 
 	var f *rpg2.Fleet
 	var rec *rpg2.FleetRecovery

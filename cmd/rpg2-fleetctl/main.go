@@ -38,6 +38,8 @@ import (
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8047", "base URL of the rpg2-fleetd daemon")
 	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline for the subcommand")
+	overloadRetries := flag.Int("overload-retries", 0, "absorb 429s by waiting out Retry-After (with deterministic jitter) this many times before giving up")
+	jitterSeed := flag.Int64("jitter-seed", 0, "seed for the client's deterministic retry jitter (0 = default)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -45,7 +47,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	cli := rpg2.NewFleetClient(rpg2.FleetClientConfig{BaseURL: *addr})
+	cli := rpg2.NewFleetClient(rpg2.FleetClientConfig{
+		BaseURL:         *addr,
+		OverloadRetries: *overloadRetries,
+		Seed:            *jitterSeed,
+	})
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
@@ -75,6 +81,24 @@ func main() {
 		err = fmt.Errorf("unknown subcommand %q", cmd)
 	}
 	if err != nil {
+		exitErr(err)
+	}
+}
+
+// exitErr maps error classes to distinct exit codes so scripts can branch
+// without parsing messages: 3 = daemon backpressure (come back after the
+// printed Retry-After), 4 = unknown session or empty store lookup, 1 =
+// everything else.
+func exitErr(err error) {
+	var over *rpg2.FleetClientOverloaded
+	switch {
+	case errors.As(err, &over):
+		fmt.Fprintf(os.Stderr, "rpg2-fleetctl: daemon overloaded, retry after %s: %v\n", over.RetryAfter, err)
+		os.Exit(3)
+	case errors.Is(err, rpg2.ErrFleetNotFound):
+		fmt.Fprintln(os.Stderr, "rpg2-fleetctl: not found:", err)
+		os.Exit(4)
+	default:
 		fmt.Fprintln(os.Stderr, "rpg2-fleetctl:", err)
 		os.Exit(1)
 	}
@@ -235,7 +259,9 @@ func runLookup(ctx context.Context, cli *rpg2.FleetClient, args []string) error 
 	}
 	if err != nil {
 		if errors.Is(err, rpg2.ErrFleetNotFound) {
-			return fmt.Errorf("no profile for %s/%s", *bench, *input)
+			// %w keeps the ErrFleetNotFound chain intact so exitErr maps
+			// this to its distinct exit code.
+			return fmt.Errorf("no profile for %s/%s: %w", *bench, *input, err)
 		}
 		return err
 	}

@@ -26,10 +26,10 @@ import (
 	"flag"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"rpg2"
 )
@@ -66,6 +66,19 @@ type options struct {
 
 	retryAfterCap int
 	addrFile      string
+
+	reqTimeout time.Duration
+	maxBody    int64
+
+	chaosSeed    int64
+	diskWrite    float64
+	diskSync     float64
+	diskSnapshot float64
+	rearmBackoff int
+	netDelay     float64
+	netError     float64
+	netSever     float64
+	netPanic     float64
 }
 
 func main() {
@@ -96,6 +109,17 @@ func main() {
 	flag.StringVar(&o.fsync, "fsync", "interval", "WAL durability: interval, always, or never")
 	flag.IntVar(&o.retryAfterCap, "retry-after-cap", 30, "upper bound on the Retry-After header, in seconds")
 	flag.StringVar(&o.addrFile, "addr-file", "", "write the bound listen address to this file once serving (for test harnesses using port 0)")
+	flag.DurationVar(&o.reqTimeout, "request-timeout", 0, "per-request context deadline for non-streaming handlers (0 = default 30s, negative = off)")
+	flag.Int64Var(&o.maxBody, "max-body", 0, "max submit body size in bytes, 413 past it (0 = default 1 MiB, negative = unlimited)")
+	flag.Int64Var(&o.chaosSeed, "chaos-seed", 1, "seed shared by the disk and network fault injectors")
+	flag.Float64Var(&o.diskWrite, "chaos-disk-write", 0, "probability a WAL write fails with an injected disk fault")
+	flag.Float64Var(&o.diskSync, "chaos-disk-sync", 0, "probability a WAL fsync fails with an injected disk fault")
+	flag.Float64Var(&o.diskSnapshot, "chaos-disk-snapshot", 0, "probability a snapshot rewrite fails with an injected disk fault")
+	flag.IntVar(&o.rearmBackoff, "rearm-backoff", 0, "journal events to wait before degraded persistence retries re-arming (0 = default 64, negative = stay degraded)")
+	flag.Float64Var(&o.netDelay, "chaos-net-delay", 0, "probability a request is delayed before dispatch")
+	flag.Float64Var(&o.netError, "chaos-net-error", 0, "probability a request gets an injected 500")
+	flag.Float64Var(&o.netSever, "chaos-net-sever", 0, "probability a response body is severed mid-stream")
+	flag.Float64Var(&o.netPanic, "chaos-net-panic", 0, "probability a handler panics (exercises panic recovery)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -124,6 +148,26 @@ func run(o options) error {
 		}
 	}
 
+	var diskFaults *rpg2.DiskFaultInjector
+	if o.diskWrite > 0 || o.diskSync > 0 || o.diskSnapshot > 0 {
+		diskFaults = rpg2.NewDiskFaultInjector(rpg2.DiskFaultConfig{
+			Seed:         o.chaosSeed,
+			WriteRate:    o.diskWrite,
+			SyncRate:     o.diskSync,
+			SnapshotRate: o.diskSnapshot,
+		})
+	}
+	var netFaults *rpg2.NetFaultInjector
+	if o.netDelay > 0 || o.netError > 0 || o.netSever > 0 || o.netPanic > 0 {
+		netFaults = rpg2.NewNetFaultInjector(rpg2.NetFaultConfig{
+			Seed:      o.chaosSeed,
+			DelayRate: o.netDelay,
+			ErrorRate: o.netError,
+			SeverRate: o.netSever,
+			PanicRate: o.netPanic,
+		})
+	}
+
 	srv, err := rpg2.NewFleetDaemon(rpg2.FleetDaemonConfig{
 		Fleet: rpg2.FleetConfig{
 			Machine:          m,
@@ -149,9 +193,15 @@ func run(o options) error {
 			MaxRetunes:         o.retunes,
 			RetuneDelay:        o.retuneWait,
 			RetuneCold:         o.retuneCold,
+
+			DiskFaults:   diskFaults,
+			RearmBackoff: o.rearmBackoff,
 		},
-		Resume:        o.resume,
-		RetryAfterCap: o.retryAfterCap,
+		Resume:         o.resume,
+		RetryAfterCap:  o.retryAfterCap,
+		NetFaults:      netFaults,
+		RequestTimeout: o.reqTimeout,
+		MaxBodyBytes:   o.maxBody,
 	})
 	if err != nil {
 		return err
@@ -176,7 +226,7 @@ func run(o options) error {
 		}
 	}
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := srv.HTTPServer()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 

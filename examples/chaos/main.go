@@ -1,0 +1,90 @@
+// Example chaos walks the fleet's chaos layer and self-healing
+// persistence arc end to end:
+//
+//  1. A persisted fleet runs under deterministic disk fault injection —
+//     the injector fails exactly one fsync (SyncRate 1, MaxFaults 1), so
+//     the WAL degrades at a hash-scripted moment.
+//  2. The degraded persister re-arms on its own: after RearmBackoff
+//     journal events of quiet it reopens the WAL epoch, re-snapshots the
+//     fleet, and resumes journaling. No operator action, nothing lost
+//     from the in-memory fleet.
+//  3. The whole arc is observable: persist-degraded / persist-rearm /
+//     persist-rearmed journal events, and the snapshot's health lines.
+//
+// Controller faults (rpg2.NewFaultInjector) ride along so the retry lane
+// is exercising admission at the same time the disk is misbehaving —
+// chaos layers compose. Rerun this program: the same faults fire at the
+// same ordinals, byte for byte.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"rpg2"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "rpg2-chaos")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	m := rpg2.CascadeLake()
+
+	disk := rpg2.NewDiskFaultInjector(rpg2.DiskFaultConfig{
+		// Fail exactly one fsync, decided by hash of (seed, file key,
+		// op, ordinal) — not a RNG, so reruns degrade at the same event.
+		Seed: 7, SyncRate: 1, MaxFaults: 1,
+	})
+	f := rpg2.NewFleet(rpg2.FleetConfig{
+		Machine: m,
+		Workers: 2,
+		// FsyncAlways makes every journal append hit the failing fsync
+		// path, so the scripted fault fires on the first event.
+		StateDir: dir, Fsync: rpg2.FsyncAlways,
+		DiskFaults: disk,
+		// Re-arm after 8 journal events of degraded quiet (virtual time:
+		// events, not wall clock — deterministic under any scheduler).
+		RearmBackoff: 8,
+		// A dash of controller chaos on top: 15% of stages fail and the
+		// retry lane re-admits them while persistence is healing.
+		Faults:     rpg2.NewFaultInjector(rpg2.FaultConfig{Seed: 42, Rate: 0.15}),
+		MaxRetries: 2,
+	})
+	defer f.Close()
+
+	var specs []rpg2.SessionSpec
+	benches := []string{"is", "cg", "randacc"}
+	for i := 0; i < 18; i++ {
+		specs = append(specs, rpg2.SessionSpec{
+			Bench: benches[i%len(benches)],
+			Seed:  int64(i + 1),
+		})
+	}
+	if _, err := f.Run(specs); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- The self-healing arc, straight from the journal.
+	fmt.Println("persistence arc:")
+	for _, e := range f.Journal().Events() {
+		switch e.Type {
+		case "persist-degraded":
+			fmt.Printf("  seq %3d  degraded: %s\n", e.Seq, e.Err)
+		case "persist-rearm":
+			fmt.Printf("  seq %3d  re-arm attempt %d (backoff elapsed)\n",
+				e.Seq, e.Attempt)
+		case "persist-rearmed":
+			fmt.Printf("  seq %3d  re-armed: journaling + snapshots resumed\n",
+				e.Seq)
+		}
+	}
+
+	snap := f.Snapshot()
+	fmt.Printf("\ninjected disk faults: %d (%v)\n", disk.Injected(), disk.ByOp())
+	fmt.Printf("degradations: %d, re-arms: %d, persistence now %q\n\n",
+		snap.PersistDegradations, snap.PersistRearms, snap.Persistence)
+	fmt.Print(snap.Render())
+}

@@ -524,6 +524,29 @@ func (q *Queue) Evict() (*Item, bool) {
 	return nil, false
 }
 
+// EvictWhere removes and returns the first waiting item whose payload
+// matches pred — ready queue first, then the retry lane — without
+// dispatching it. It is the targeted flavour of Evict, for callers that
+// must cancel one specific session (the daemon's panic recovery) rather
+// than drain whatever is next.
+func (q *Queue) EvictWhere(pred func(payload any) bool) (*Item, bool) {
+	for i, it := range q.ready {
+		if pred(it.Payload) {
+			q.ready = append(q.ready[:i:i], q.ready[i+1:]...)
+			q.depthAdd(it.Tenant, -1)
+			return it, true
+		}
+	}
+	for i, it := range q.retries {
+		if pred(it.Payload) {
+			q.retries = append(q.retries[:i:i], q.retries[i+1:]...)
+			q.depthAdd(it.Tenant, -1)
+			return it, true
+		}
+	}
+	return nil, false
+}
+
 // Release returns an item's quota slot; call once per Pop'd item after it
 // finishes (or is parked).
 func (q *Queue) Release(k Key) {

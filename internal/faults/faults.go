@@ -114,6 +114,24 @@ func hash01(parts ...uint64) float64 {
 	return float64(h>>11) / float64(uint64(1)<<53)
 }
 
+// Hash01 is the package's determinism contract as a public primitive: it
+// folds the parts into a uniform value in [0, 1) with no hidden state, so
+// other layers (client retry jitter, for one) can derive per-event noise
+// that replays identically across runs and worker counts.
+func Hash01(parts ...uint64) float64 { return hash01(parts...) }
+
+// KeyHash folds a string into a hash discriminator (FNV-1a) for use as a
+// Hash01 part. Disk and network injectors key decisions by path or route
+// strings; this keeps those keys inside the same integer-hash contract.
+func KeyHash(s string) uint64 {
+	h := uint64(0xCBF29CE484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001B3
+	}
+	return h
+}
+
 // Check decides whether the given stage fails for one session attempt,
 // returning the injected *Error or nil. The decision depends only on the
 // injector seed, the rates, and the arguments.

@@ -522,6 +522,22 @@ type Config struct {
 	// exactly as the crash left it for Recover. Recover itself consumes
 	// the old state and overwrites implicitly.
 	Overwrite bool
+	// DiskFaults, when non-nil, injects deterministic disk faults (write,
+	// fsync, snapshot-write errors) into the persistence layer — the chaos
+	// knob that exercises the degrade/re-arm arc on demand. Decisions are
+	// pure hashes of (injector seed, file key, operation ordinal), so the
+	// same faults fire at the same operations regardless of worker count.
+	DiskFaults *faults.DiskInjector
+	// RearmBackoff is how many journal events a degraded persister waits
+	// before attempting to re-arm (snapshot live state into a fresh epoch
+	// and resume the WAL). 0 means the default (64); negative disables
+	// re-arming, restoring the old "first disk error degrades forever"
+	// behavior. The clock is journal events, not wall time: deterministic
+	// in tests, and an idle fleet never churns a disk it just failed on.
+	RearmBackoff int
+	// RearmBackoffCap bounds the per-failure doubling of the re-arm
+	// backoff (default 8x RearmBackoff).
+	RearmBackoffCap int
 }
 
 func (c Config) defaults() Config {
@@ -668,7 +684,7 @@ func (f *Fleet) initPersist() {
 			return
 		}
 	}
-	p, err := openPersister(f.cfg.StateDir, f.cfg.Fsync, f.cfg.FsyncInterval, f.cfg.SnapshotEvery, f.sched.Export(), f.captureDrift(), f.captureStore())
+	p, err := openPersister(f.cfg.StateDir, f.cfg, f.sched.Export(), f.captureDrift(), f.captureStore())
 	if err != nil {
 		f.persist = degradedPersister(f.cfg.StateDir, err)
 		return
@@ -819,9 +835,46 @@ func (f *Fleet) Close() {
 	}
 }
 
+// tendPersist is the persistence layer's between-sessions heartbeat,
+// called by workers outside both the fleet and journal locks. A healthy
+// persister gets its periodic snapshot; a degraded one gets its
+// degradation journaled (once) and, when the event-counted backoff has
+// run out, a re-arm attempt — claimed by exactly one worker.
+func (f *Fleet) tendPersist() {
+	if f.persist == nil {
+		return
+	}
+	if msg, n, ok := f.persist.takeDegradeNotice(); ok {
+		f.journal.add(Event{Session: -1, Type: "persist-degraded", Err: msg, Attempt: n})
+	}
+	if attempt, ok := f.persist.claimRearm(); ok {
+		f.rearmPersist(attempt)
+		return
+	}
+	f.maybePersistSnapshot()
+}
+
+// rearmPersist runs one claimed re-arm attempt: journal it, capture live
+// state under snapMu exactly like a periodic snapshot, and hand the
+// persister its fresh epoch. Success is journaled from the far side — the
+// "persist-rearmed" record is the first event guaranteed to land in the
+// re-seeded WAL.
+func (f *Fleet) rearmPersist(attempt int) {
+	f.journal.add(Event{Session: -1, Type: "persist-rearm", Attempt: attempt})
+	f.snapMu.Lock()
+	defer f.snapMu.Unlock()
+	f.mu.Lock()
+	sched := f.sched.Export()
+	dr := f.captureDriftLocked()
+	f.mu.Unlock()
+	if err := f.persist.rearm(f.journal, sched, dr, f.captureStore()); err != nil {
+		return
+	}
+	f.journal.add(Event{Session: -1, Type: "persist-rearmed", Attempt: attempt})
+}
+
 // maybePersistSnapshot writes a fresh snapshot if enough store commits
-// accumulated since the last one. Called between sessions, outside both
-// the fleet and journal locks; claimSnapshot grants the threshold
+// accumulated since the last one. claimSnapshot grants the threshold
 // crossing to exactly one worker.
 func (f *Fleet) maybePersistSnapshot() {
 	if f.persist == nil || !f.persist.claimSnapshot() {
@@ -897,6 +950,43 @@ func (f *Fleet) CancelQueued() int {
 
 // ErrCanceled marks sessions failed by CancelQueued before they ran.
 var ErrCanceled = errors.New("fleet: session cancelled before dispatch")
+
+// DegradeQueued parks one still-queued session as Degraded and returns
+// whether it found it waiting. It is the daemon's panic-recovery path: a
+// handler that panicked mid-submit leaves a session whose client may never
+// learn its ID, so the safe disposition is a terminal parked state rather
+// than silently running work nobody can claim. Sessions already dispatched
+// are left alone (they finish normally).
+func (f *Fleet) DegradeQueued(id int) bool {
+	f.mu.Lock()
+	it, ok := f.sched.EvictWhere(func(payload any) bool {
+		s, isSession := payload.(*Session)
+		return isSession && s.ID == id
+	})
+	f.mu.Unlock()
+	if !ok {
+		return false
+	}
+	s := it.Payload.(*Session)
+	f.transition(s, Degraded, 0)
+	f.metrics.degrade(0)
+	f.journal.add(Event{
+		Session: s.ID, Type: "session-degraded", State: Degraded.String(),
+		Kind:  s.Spec.Kind.String(),
+		Bench: s.Spec.Bench, Input: s.Spec.Input, Machine: s.MachineName(),
+		Attempt: it.Attempt,
+	})
+	f.cond.Broadcast()
+	return true
+}
+
+// RecordPanic journals a recovered daemon handler panic as a fleet-level
+// event, so the incident is durable (and replay-safe: recovery ignores
+// fleet-level event types it does not know).
+func (f *Fleet) RecordPanic(route, msg string) {
+	f.journal.add(Event{Session: -1, Type: "handler-panic", Reason: route, Err: msg})
+	f.metrics.panicked()
+}
 
 // Run is the batch convenience: submit all specs, drain, return the
 // sessions. The fleet stays open for more work afterwards.
@@ -977,7 +1067,7 @@ func (f *Fleet) worker() {
 		} else {
 			f.runSession(s)
 		}
-		f.maybePersistSnapshot()
+		f.tendPersist()
 
 		f.mu.Lock()
 		f.sched.ReleaseItem(dec.Item)

@@ -25,7 +25,9 @@ type Event struct {
 	// "store-invalidate", "retry-scheduled", "breaker-open",
 	// "breaker-closed", "session-done", "session-failed",
 	// "session-degraded", "drift-detected", "retune-scheduled",
-	// "retune-complete".
+	// "retune-complete" — plus the fleet-level (Session -1) chaos and
+	// hardening vocabulary: "persist-degraded", "persist-rearm",
+	// "persist-rearmed", "handler-panic".
 	Type string `json:"type"`
 	// Bench and Input name the session's workload.
 	Bench string `json:"bench,omitempty"`
@@ -143,6 +145,26 @@ func (j *Journal) add(e Event) {
 		default: // watcher already has a pending wake; it will re-scan
 		}
 	}
+}
+
+// LastSeq is the Seq of the most recent event (-1 when the journal is
+// empty). Seq numbers are dense, so this is also len(events)-1.
+func (j *Journal) LastSeq() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.events) - 1
+}
+
+// withLock runs fn over the live event slice while holding the journal
+// lock, freezing the event stream for the duration. It exists for the
+// persistence re-arm: re-seeding a fresh WAL from the in-memory journal
+// must observe a consistent prefix with no event able to land between the
+// scan and the sink swap. fn must not append events or acquire the fleet
+// lock (the fleet journals while holding it, so that edge would deadlock).
+func (j *Journal) withLock(fn func(events []Event)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	fn(j.events)
 }
 
 // Events returns a copy of the log in append order.

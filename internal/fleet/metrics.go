@@ -47,6 +47,10 @@ type metrics struct {
 	retunesScheduled int
 	retunesCompleted int
 	retuneWindows    int
+
+	// handlerPanics counts daemon handler panics the recovery middleware
+	// caught (fleet-level incidents, not session outcomes).
+	handlerPanics int
 }
 
 func newMetrics() *metrics {
@@ -143,6 +147,12 @@ func (m *metrics) retuneComplete() {
 	m.retunesCompleted++
 }
 
+func (m *metrics) panicked() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlerPanics++
+}
+
 // Snapshot is a point-in-time view of the fleet's health — the counters the
 // issue's operator story needs: throughput, activation and rollback rates,
 // profile-store effectiveness, and the cold-vs-warm search cost.
@@ -183,6 +193,20 @@ type Snapshot struct {
 	WALEpoch         int    `json:"wal_epoch,omitempty"`
 	WALRecords       int    `json:"wal_records,omitempty"`
 	WALSnapshots     int    `json:"wal_snapshots,omitempty"`
+	// Self-healing persistence counters: disk-failure degradations seen,
+	// successful re-arms (each one a fresh epoch re-seeded from the live
+	// journal), and — while degraded with re-arming enabled — how many
+	// journal events remain on the backoff clock before the next attempt.
+	// All omitted on a fleet that never degraded, so zero-knob snapshots
+	// are byte-identical to the pre-chaos fleet's.
+	PersistDegradations int `json:"persist_degradations,omitempty"`
+	PersistRearms       int `json:"persist_rearms,omitempty"`
+	PersistRearmIn      int `json:"persist_rearm_in,omitempty"`
+	// DiskFaultsInjected counts injected disk faults (Config.DiskFaults);
+	// HandlerPanics counts daemon handler panics recovered by the
+	// panic-recovery middleware. Both omitted at zero.
+	DiskFaultsInjected int `json:"disk_faults_injected,omitempty"`
+	HandlerPanics      int `json:"handler_panics,omitempty"`
 
 	// Terminal outcome counts (rpg2 outcome names).
 	Tuned        int `json:"tuned"`
@@ -300,6 +324,7 @@ func (m *metrics) snapshot(st Store, builds *workloads.BuildCache, workers, queu
 		DriftDetected:        m.driftDetected,
 		RetunesScheduled:     m.retunesScheduled,
 		RetunesCompleted:     m.retunesCompleted,
+		HandlerPanics:        m.handlerPanics,
 	}
 	if m.driftDetected > 0 {
 		s.DetectWindowsMean = float64(m.retuneWindows) / float64(m.driftDetected)
@@ -454,8 +479,22 @@ func (s Snapshot) Render() string {
 	case "active":
 		fmt.Fprintf(&b, "  persistence    active: epoch %d, %d WAL records, %d snapshots\n",
 			s.WALEpoch, s.WALRecords, s.WALSnapshots)
+		if s.PersistRearms > 0 {
+			fmt.Fprintf(&b, "  persistence    re-armed %dx after %d degradations\n",
+				s.PersistRearms, s.PersistDegradations)
+		}
 	case "degraded":
 		fmt.Fprintf(&b, "  persistence    degraded (continuing in-memory): %s\n", s.PersistenceError)
+		if s.PersistRearmIn > 0 {
+			fmt.Fprintf(&b, "  persistence    re-arm pending in %d events (%d degradations, %d prior re-arms)\n",
+				s.PersistRearmIn, s.PersistDegradations, s.PersistRearms)
+		}
+	}
+	if s.DiskFaultsInjected > 0 {
+		fmt.Fprintf(&b, "  chaos          %d disk faults injected\n", s.DiskFaultsInjected)
+	}
+	if s.HandlerPanics > 0 {
+		fmt.Fprintf(&b, "  chaos          %d handler panics recovered\n", s.HandlerPanics)
 	}
 	return b.String()
 }

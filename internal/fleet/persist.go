@@ -6,10 +6,17 @@
 // the last snapshot, replay the journal events past its watermark, and
 // re-admit every session that never reached a terminal record.
 //
-// Persistence must never block session progress: the first failed disk
-// write flips the fleet into degraded in-memory mode — the WAL is
-// abandoned, sessions keep running, and the metrics snapshot surfaces
-// "Persistence: degraded" with the error.
+// Persistence must never block session progress: a failed disk write flips
+// the fleet into degraded in-memory mode — the WAL is abandoned, sessions
+// keep running, and the metrics snapshot surfaces "Persistence: degraded"
+// with the error. Degradation is no longer forever: unless re-arming is
+// disabled (Config.RearmBackoff < 0) or the state dir was unusable from
+// birth, a degraded persister waits a capped, journal-event-counted
+// backoff (a virtual clock, so tests don't sleep) and then re-arms — a
+// fresh epoch snapshot of live state, a fresh staged journal re-seeded
+// with every non-terminal session's history, committed atomically exactly
+// like startup. The arc is journaled as "persist-degraded" /
+// "persist-rearm" / "persist-rearmed" fleet-level events.
 package fleet
 
 import (
@@ -18,10 +25,12 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"rpg2/internal/admission"
 	"rpg2/internal/baselines"
 	"rpg2/internal/drift"
+	"rpg2/internal/faults"
 	"rpg2/internal/machine"
 	"rpg2/internal/wal"
 )
@@ -169,11 +178,23 @@ type walDrift struct {
 // concurrent use and degrade (rather than fail) on disk errors.
 type persister struct {
 	dir       string
-	epoch     int
 	snapEvery int
-	shards    int // snapshot layout this epoch writes (1 = legacy single file)
+	fsync     wal.SyncMode
+	interval  int
+	disk      *faults.DiskInjector // nil: no injected disk faults
+	rearmBase int                  // events between degradation and re-arm (<= 0: never)
+	rearmCap  int
+
+	// hookArmed gates the disk-fault hook: injection starts only after the
+	// epoch is open, so a chaos run always gets past birth and exercises
+	// the degrade/re-arm arc instead of degrading before the first event.
+	// Atomic because the hook runs under the WAL's lock while appendEvent
+	// holds p.mu — the hook must not touch p.mu.
+	hookArmed atomic.Bool
 
 	mu        sync.Mutex
+	epoch     int
+	shards    int // snapshot layout this epoch writes (1 = legacy single file)
 	log       *wal.Log
 	lastSeq   int // highest event Seq appended to the WAL
 	commits   int // store commits since the last snapshot
@@ -181,6 +202,30 @@ type persister struct {
 	degraded  bool
 	err       error
 	closed    bool
+	permanent bool // degraded from birth or by refusal: never re-arm
+	notice    bool // a degradation tendPersist has not journaled yet
+
+	rearmWait     int // journal events left before the next re-arm attempt
+	rearmBackoff  int // current backoff (doubles per failed attempt, capped)
+	rearmAttempts int
+	rearming      bool
+	rearms        int
+	degradations  int
+}
+
+// faultHook adapts the configured disk injector to the wal layer's hook
+// shape for one file family, gated on hookArmed. Nil when no injector is
+// configured, so the zero-knob fleet takes no new code path at all.
+func (p *persister) faultHook(key string) func(op string) error {
+	if p.disk == nil {
+		return nil
+	}
+	return func(op string) error {
+		if !p.hookArmed.Load() {
+			return nil
+		}
+		return p.disk.Check(key, op)
+	}
 }
 
 // openPersister starts epoch state under dir, ordered so that every
@@ -196,19 +241,35 @@ type persister struct {
 // orphaned behind a stale snapshot. The reverse order — truncate the
 // journal, then snapshot — would let a crash between the two lose both.
 // An error means the state dir is unusable (nothing was destroyed) and
-// the fleet should degrade from birth.
-func openPersister(dir string, fsync wal.SyncMode, interval, snapEvery int, sched admission.PersistState, dr []DriftRecord, ss storeState) (*persister, error) {
+// the fleet should degrade from birth. Injected disk faults (cfg.DiskFaults)
+// arm only once the epoch is open: birth either succeeds or degrades
+// permanently, so the injector targets the steady state the re-arm
+// machinery can actually heal.
+func openPersister(dir string, cfg Config, sched admission.PersistState, dr []DriftRecord, ss storeState) (*persister, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	snapEvery := cfg.SnapshotEvery
 	if snapEvery <= 0 {
 		snapEvery = 8
 	}
 	if ss.shards < 1 {
 		ss.shards = 1
 	}
+	rearmBase, rearmCap := cfg.RearmBackoff, cfg.RearmBackoffCap
+	if rearmBase == 0 {
+		rearmBase = 64
+	}
+	if rearmCap <= 0 {
+		rearmCap = 8 * rearmBase
+	}
+	p := &persister{
+		dir: dir, snapEvery: snapEvery, fsync: cfg.Fsync, interval: cfg.FsyncInterval,
+		disk: cfg.DiskFaults, rearmBase: rearmBase, rearmCap: rearmCap,
+		lastSeq: -1,
+	}
 	epoch := prevEpoch(dir) + 1
-	if err := writeSnapshotSet(dir, epoch, -1, sched, dr, ss); err != nil {
+	if err := writeSnapshotSet(dir, epoch, -1, sched, dr, ss, nil); err != nil {
 		return nil, err
 	}
 	// The fresh epoch's snapshot set is durable in the configured layout;
@@ -223,16 +284,17 @@ func openPersister(dir string, fsync wal.SyncMode, interval, snapEvery int, sche
 	if err := os.Remove(staged); err != nil && !os.IsNotExist(err) {
 		return nil, err
 	}
-	log, _, err := wal.Open(staged, wal.Config{Sync: fsync, Interval: interval})
+	log, _, err := wal.Open(staged, wal.Config{Sync: cfg.Fsync, Interval: cfg.FsyncInterval, FaultHook: p.faultHook(journalFile)})
 	if err != nil {
 		return nil, err
 	}
-	p := &persister{dir: dir, epoch: epoch, snapEvery: snapEvery, shards: ss.shards, log: log, lastSeq: -1, snapshots: 1}
+	p.epoch, p.shards, p.log, p.snapshots = epoch, ss.shards, log, 1
 	meta, _ := json.Marshal(walMeta{Wal: "journal", Epoch: epoch})
 	if err := log.Append(meta); err != nil {
 		log.Abort()
 		return nil, err
 	}
+	p.hookArmed.Store(true)
 	return p, nil
 }
 
@@ -323,6 +385,12 @@ func (p *persister) appendEvent(e Event) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.degraded || p.closed {
+		// Degraded time is measured in journal events — a virtual clock the
+		// re-arm backoff counts down on, so tests never sleep and idle
+		// fleets never churn the disk they just failed on.
+		if p.degraded && !p.closed && !p.permanent && p.rearmBase > 0 && p.rearmWait > 0 {
+			p.rearmWait--
+		}
 		return
 	}
 	if err := p.log.Append(payload); err != nil {
@@ -435,7 +503,8 @@ func manifestPayloads(epoch, seq, shards int, sched admission.PersistState, dr [
 // shard file is durable before the manifest that vouches for the set, so
 // at any crash instant the newest *complete* manifest (or legacy
 // snapshot) names a watermark all its shard files have folded in.
-func writeSnapshotSet(dir string, epoch, seq int, sched admission.PersistState, dr []DriftRecord, ss storeState) error {
+// The optional hook is the disk-fault seam, consulted once per file write.
+func writeSnapshotSet(dir string, epoch, seq int, sched admission.PersistState, dr []DriftRecord, ss storeState, hook func(op string) error) error {
 	if ss.shards <= 1 {
 		var entries []KeyedEntry
 		if len(ss.perShard) > 0 {
@@ -445,7 +514,7 @@ func writeSnapshotSet(dir string, epoch, seq int, sched admission.PersistState, 
 		if err != nil {
 			return err
 		}
-		return wal.WriteAtomic(filepath.Join(dir, snapshotFile), payloads)
+		return wal.WriteAtomicHook(filepath.Join(dir, snapshotFile), payloads, hook)
 	}
 	for i := 0; i < ss.shards; i++ {
 		var entries []KeyedEntry
@@ -456,7 +525,7 @@ func writeSnapshotSet(dir string, epoch, seq int, sched admission.PersistState, 
 		if err != nil {
 			return err
 		}
-		if err := wal.WriteAtomic(filepath.Join(dir, shardFileName(i)), payloads); err != nil {
+		if err := wal.WriteAtomicHook(filepath.Join(dir, shardFileName(i)), payloads, hook); err != nil {
 			return err
 		}
 	}
@@ -464,7 +533,7 @@ func writeSnapshotSet(dir string, epoch, seq int, sched admission.PersistState, 
 	if err != nil {
 		return err
 	}
-	return wal.WriteAtomic(filepath.Join(dir, manifestFile), payloads)
+	return wal.WriteAtomicHook(filepath.Join(dir, manifestFile), payloads, hook)
 }
 
 // writeSnapshot atomically replaces the snapshot (file or shard set +
@@ -477,8 +546,9 @@ func (p *persister) writeSnapshot(seq int, sched admission.PersistState, dr []Dr
 		p.mu.Unlock()
 		return
 	}
+	epoch := p.epoch
 	p.mu.Unlock()
-	err := writeSnapshotSet(p.dir, p.epoch, seq, sched, dr, ss)
+	err := writeSnapshotSet(p.dir, epoch, seq, sched, dr, ss, p.faultHook("snapshot"))
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if err != nil {
@@ -501,9 +571,183 @@ func (p *persister) failLocked(err error) {
 	}
 	p.degraded = true
 	p.err = err
+	p.degradations++
 	if p.log != nil {
 		p.log.Abort()
 	}
+	if !p.permanent && p.rearmBase > 0 {
+		p.rearmBackoff = p.rearmBase
+		p.rearmWait = p.rearmBackoff
+		p.notice = true
+	}
+}
+
+// takeDegradeNotice claims the one not-yet-journaled degradation so
+// tendPersist emits exactly one "persist-degraded" event per degradation,
+// no matter how many workers observe it.
+func (p *persister) takeDegradeNotice() (msg string, n int, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.notice {
+		return "", 0, false
+	}
+	p.notice = false
+	if p.err != nil {
+		msg = p.err.Error()
+	}
+	return msg, p.degradations, true
+}
+
+// claimRearm grants the re-arm to exactly one worker once the backoff
+// clock has run out. The attempt number rides the claim for journaling.
+func (p *persister) claimRearm() (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.degraded || p.permanent || p.closed || p.rearming ||
+		p.rearmBase <= 0 || p.rearmWait > 0 {
+		return 0, false
+	}
+	p.rearming = true
+	p.rearmAttempts++
+	return p.rearmAttempts, true
+}
+
+// rearmFailed records a failed re-arm attempt: stay degraded, double the
+// backoff up to the cap, and wind the virtual clock back up.
+func (p *persister) rearmFailed(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rearming = false
+	p.err = err
+	b := p.rearmBackoff * 2
+	if b > p.rearmCap {
+		b = p.rearmCap
+	}
+	if b < p.rearmBase {
+		b = p.rearmBase
+	}
+	p.rearmBackoff = b
+	p.rearmWait = b
+}
+
+// rearm rebuilds on-disk state for a degraded persister from the live
+// in-memory journal: a fresh-epoch snapshot of the caller's captured
+// state, then a staged journal re-seeded — under the journal lock, so no
+// event can slip between the scan and the sink coming back to life — with
+// every non-terminal session's history (so a later crash still re-admits
+// them) plus any store/breaker events newer than the snapshot watermark,
+// then the same atomic commit as startup. Every crash instant during a
+// re-arm leaves one of the proven recovery pairings: before the commit the
+// new snapshot out-epochs the old journal (readState's snapshot-ahead
+// branch); after it, watermark roll-forward. The caller holds snapMu and
+// must NOT hold the fleet lock.
+func (p *persister) rearm(j *Journal, sched admission.PersistState, dr []DriftRecord, ss storeState) error {
+	if ss.shards < 1 {
+		ss.shards = 1
+	}
+	epoch := prevEpoch(p.dir) + 1
+	// Watermark before capture is the standing snapshot discipline; here
+	// the journal's own tail is the freshest "known Seq" there is. The
+	// caller captured state after this point, so replaying a little extra
+	// on recovery stays idempotent.
+	w0 := j.LastSeq()
+	if err := writeSnapshotSet(p.dir, epoch, w0, sched, dr, ss, p.faultHook("snapshot")); err != nil {
+		p.rearmFailed(err)
+		return err
+	}
+	cleanupStaleSnapshots(p.dir, ss.shards)
+	staged := filepath.Join(p.dir, journalStageFile)
+	if err := os.Remove(staged); err != nil && !os.IsNotExist(err) {
+		p.rearmFailed(err)
+		return err
+	}
+	log, _, err := wal.Open(staged, wal.Config{Sync: p.fsync, Interval: p.interval, FaultHook: p.faultHook(journalFile)})
+	if err != nil {
+		p.rearmFailed(err)
+		return err
+	}
+	meta, _ := json.Marshal(walMeta{Wal: "journal", Epoch: epoch})
+	if err := log.Append(meta); err != nil {
+		log.Abort()
+		p.rearmFailed(err)
+		return err
+	}
+	var seedErr error
+	j.withLock(func(events []Event) {
+		// Pass 1 mirrors readState's terminality rules, last writer wins:
+		// done/degraded end a session, a failure ends it unless cancelled
+		// (resume re-admits drains), a retry or re-tune re-opens it.
+		terminal := make(map[int]bool)
+		for _, e := range events {
+			if e.Session < 0 {
+				continue
+			}
+			switch e.Type {
+			case "session-done", "session-degraded":
+				terminal[e.Session] = true
+			case "session-failed":
+				terminal[e.Session] = e.Err != ErrCanceled.Error()
+			case "retry-scheduled", "retune-scheduled":
+				terminal[e.Session] = false
+			}
+		}
+		lastSeq := w0
+		for _, e := range events {
+			include := e.Session >= 0 && !terminal[e.Session]
+			if !include && e.Seq > w0 {
+				switch e.Type {
+				case "store-commit", "store-invalidate", "breaker-open", "breaker-closed":
+					include = true
+				}
+			}
+			if !include {
+				continue
+			}
+			payload, err := json.Marshal(e)
+			if err != nil {
+				seedErr = err
+				return
+			}
+			if err := log.Append(payload); err != nil {
+				seedErr = err
+				return
+			}
+			if e.Seq > lastSeq {
+				lastSeq = e.Seq
+			}
+		}
+		// Swap while still holding the journal lock: the next event added
+		// flows through the sink into the re-seeded log with no gap.
+		p.mu.Lock()
+		p.log = log
+		p.epoch = epoch
+		p.shards = ss.shards
+		p.lastSeq = lastSeq
+		p.commits = 0
+		p.snapshots++
+		p.degraded = false
+		p.err = nil
+		p.notice = false
+		p.rearming = false
+		p.rearms++
+		p.mu.Unlock()
+	})
+	if seedErr != nil {
+		log.Abort()
+		p.rearmFailed(seedErr)
+		return seedErr
+	}
+	// Publish: rename the staged journal into place. A failure here
+	// re-degrades through the usual path (a fresh backoff at base — the
+	// disk did accept a whole snapshot and journal, so this counts as a
+	// new incident, not a continued one).
+	p.commitJournal()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.degraded {
+		return p.err
+	}
+	return nil
 }
 
 // close flushes and closes the WAL; the caller writes the final snapshot
@@ -531,6 +775,9 @@ func (p *persister) health(s *Snapshot) {
 		if p.err != nil {
 			s.PersistenceError = p.err.Error()
 		}
+		if !p.permanent && p.rearmBase > 0 {
+			s.PersistRearmIn = p.rearmWait
+		}
 	} else {
 		s.Persistence = "active"
 	}
@@ -539,10 +786,18 @@ func (p *persister) health(s *Snapshot) {
 	if p.log != nil {
 		s.WALRecords = p.log.Records()
 	}
+	s.PersistDegradations = p.degradations
+	s.PersistRearms = p.rearms
+	if p.disk != nil {
+		s.DiskFaultsInjected = p.disk.Injected()
+	}
 }
 
 // degradedPersister represents a fleet whose state dir was unusable from
-// birth: permanently degraded, never writing.
+// birth: permanently degraded, never writing — and never re-arming, since
+// there is no epoch to heal back into (in the Overwrite-refusal case,
+// re-arming would destroy exactly the recoverable state the refusal
+// protects).
 func degradedPersister(dir string, err error) *persister {
-	return &persister{dir: dir, degraded: true, err: err, lastSeq: -1}
+	return &persister{dir: dir, degraded: true, err: err, lastSeq: -1, permanent: true, degradations: 1}
 }

@@ -600,7 +600,7 @@ func TestRecoverSurvivesInterruptedRecovery(t *testing.T) {
 // store-commit threshold get exactly one snapshot claim.
 func TestClaimSnapshotSingleWinner(t *testing.T) {
 	dir := t.TempDir()
-	p, err := openPersister(dir, wal.SyncOnClose, 0, 4, admission.PersistState{}, nil, storeState{shards: 1})
+	p, err := openPersister(dir, Config{Fsync: wal.SyncOnClose, SnapshotEvery: 4}, admission.PersistState{}, nil, storeState{shards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -710,10 +710,12 @@ func TestRecoverMissingDirErrors(t *testing.T) {
 
 // TestDiskFailureDegrades: the first failed WAL write flips the fleet to
 // in-memory mode — sessions keep finishing, and the snapshot surfaces the
-// degradation instead of hiding it.
+// degradation instead of hiding it. Re-arming is disabled here (negative
+// RearmBackoff) to pin the old permanent-degradation contract; the
+// self-healing arc has its own coverage in chaos_test.go.
 func TestDiskFailureDegrades(t *testing.T) {
 	dir := t.TempDir()
-	f := New(Config{Machine: machine.CascadeLake(), Workers: 2, StateDir: dir})
+	f := New(Config{Machine: machine.CascadeLake(), Workers: 2, StateDir: dir, RearmBackoff: -1})
 	defer f.Close()
 	if snap := f.Snapshot(); snap.Persistence != "active" {
 		t.Fatalf("fresh persisted fleet reports %q", snap.Persistence)

@@ -17,8 +17,10 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync/atomic"
 	"time"
 
+	"rpg2/internal/faults"
 	"rpg2/internal/fleet"
 	"rpg2/internal/fleetd"
 )
@@ -39,11 +41,28 @@ type Config struct {
 	RetryCap  time.Duration
 	// PollInterval is Wait's sleep between status polls (default 25ms).
 	PollInterval time.Duration
+	// Seed drives the deterministic jitter spread over retry backoff and
+	// Retry-After waits (default 1). The jitter is hash-derived from
+	// (seed, draw ordinal) — no RNG — so the same seed and call order
+	// reproduce the same waits exactly.
+	Seed int64
+	// OverloadRetries, when positive, makes the client absorb 429s itself:
+	// it waits out the daemon's Retry-After hint (plus deterministic
+	// jitter, never less than the hint) and resends, up to this many
+	// times, before surfacing *Overloaded. Default 0 keeps the original
+	// contract — backpressure surfaces immediately as the caller's policy
+	// decision.
+	OverloadRetries int
+	// NetFaults wraps the transport in a deterministic client-side fault
+	// injector (delays, injected connection errors, responses severed
+	// mid-body). Nil leaves the transport untouched.
+	NetFaults *faults.NetInjector
 }
 
 // Client calls one daemon. Safe for concurrent use.
 type Client struct {
-	cfg Config
+	cfg   Config
+	draws atomic.Uint64
 }
 
 // New builds a client; zero-value config fields get defaults.
@@ -62,6 +81,19 @@ func New(cfg Config) *Client {
 	}
 	if cfg.PollInterval <= 0 {
 		cfg.PollInterval = 25 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.NetFaults != nil {
+		// Clone the http.Client so the caller's copy stays fault-free.
+		hc := *cfg.HTTP
+		base := hc.Transport
+		if base == nil {
+			base = http.DefaultTransport
+		}
+		hc.Transport = cfg.NetFaults.Transport(base)
+		cfg.HTTP = &hc
 	}
 	return &Client{cfg: cfg}
 }
@@ -103,12 +135,30 @@ func transientCode(code int) bool {
 		code == http.StatusGatewayTimeout
 }
 
-// backoff sleeps out attempt n's capped exponential wait, honouring ctx.
-func (c *Client) backoff(ctx context.Context, attempt int) error {
-	d := c.cfg.RetryBase << (attempt - 1)
-	if d > c.cfg.RetryCap || d <= 0 {
-		d = c.cfg.RetryCap
+// jitter spreads a wait over [d/2, d], hash-derived from the client's
+// seed and a monotone draw counter — deterministic replay, no RNG, and no
+// synchronized thundering herd when many clients share a daemon.
+func (c *Client) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
 	}
+	f := faults.Hash01(uint64(c.cfg.Seed), c.draws.Add(1), 31)
+	return d/2 + time.Duration(f*float64(d/2))
+}
+
+// overloadWait is the honored form of a Retry-After hint: at least the
+// hint, plus up to half again of deterministic jitter so retries from a
+// fleet of clients don't land on the same tick the daemon suggested.
+func (c *Client) overloadWait(after time.Duration) time.Duration {
+	if after <= 0 {
+		after = time.Second
+	}
+	f := faults.Hash01(uint64(c.cfg.Seed), c.draws.Add(1), 32)
+	return after + time.Duration(f*float64(after)/2)
+}
+
+// sleepFor sleeps out d, honouring ctx.
+func (c *Client) sleepFor(ctx context.Context, d time.Duration) error {
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -117,6 +167,15 @@ func (c *Client) backoff(ctx context.Context, attempt int) error {
 	case <-t.C:
 		return nil
 	}
+}
+
+// backoff sleeps out attempt n's capped, jittered exponential wait.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	d := c.cfg.RetryBase << (attempt - 1)
+	if d > c.cfg.RetryCap || d <= 0 {
+		d = c.cfg.RetryCap
+	}
+	return c.sleepFor(ctx, c.jitter(d))
 }
 
 // decodeErr extracts the {"error": ...} body of a non-2xx response.
@@ -136,15 +195,21 @@ func decodeErr(resp *http.Response) string {
 // slices so every retry resends the same payload.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any, acceptAccepted bool) (int, error) {
 	var lastErr error
-	for attempt := 0; ; attempt++ {
-		if attempt > 0 {
-			if attempt > c.cfg.MaxRetries {
-				return 0, lastErr
-			}
-			if err := c.backoff(ctx, attempt); err != nil {
-				return 0, err
-			}
+	attempt, overloads := 0, 0
+	// retry charges one transient attempt and sleeps the jittered backoff;
+	// it reports false when the retry budget is spent.
+	retry := func(err error) (bool, error) {
+		lastErr = err
+		attempt++
+		if attempt > c.cfg.MaxRetries {
+			return false, nil
 		}
+		if serr := c.backoff(ctx, attempt); serr != nil {
+			return false, serr
+		}
+		return true, nil
+	}
+	for {
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
@@ -161,8 +226,12 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 			if ctx.Err() != nil {
 				return 0, ctx.Err()
 			}
-			lastErr = err
-			continue
+			if again, serr := retry(err); serr != nil {
+				return 0, serr
+			} else if again {
+				continue
+			}
+			return 0, lastErr
 		}
 		code := resp.StatusCode
 		switch {
@@ -184,11 +253,24 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 					after = time.Duration(secs) * time.Second
 				}
 			}
-			return 0, &Overloaded{RetryAfter: after, Message: msg}
+			over := &Overloaded{RetryAfter: after, Message: msg}
+			// Overload retries are budgeted separately from transient ones:
+			// honoring Retry-After is opt-in policy, not transport recovery.
+			if overloads >= c.cfg.OverloadRetries {
+				return 0, over
+			}
+			overloads++
+			if serr := c.sleepFor(ctx, c.overloadWait(after)); serr != nil {
+				return 0, serr
+			}
 		case transientCode(code):
-			lastErr = &APIError{Code: code, Message: decodeErr(resp)}
+			err := &APIError{Code: code, Message: decodeErr(resp)}
 			resp.Body.Close()
-			continue
+			if again, serr := retry(err); serr != nil {
+				return 0, serr
+			} else if !again {
+				return 0, lastErr
+			}
 		default:
 			msg := decodeErr(resp)
 			resp.Body.Close()

@@ -14,16 +14,20 @@
 package fleetd
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rpg2/internal/baselines"
+	"rpg2/internal/faults"
 	"rpg2/internal/fleet"
 	rpgcore "rpg2/internal/rpg2"
 )
@@ -41,6 +45,26 @@ type Config struct {
 	// RetryAfterCap bounds the Retry-After header on 429 responses, in
 	// seconds (default 30).
 	RetryAfterCap int
+
+	// NetFaults injects deterministic network faults (delays, 500s, severed
+	// response bodies, handler panics) into the daemon's request path, keyed
+	// by (seed, route, request ordinal). Nil disables injection and the
+	// request path is byte-identical to a daemon built without the knob.
+	NetFaults *faults.NetInjector
+	// RequestTimeout bounds each non-streaming request with a context
+	// deadline (default 30s; negative disables). The /v1/events stream is
+	// exempt — it is long-lived by design.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps POST bodies via http.MaxBytesReader (default 1MiB;
+	// negative disables). Oversized submissions get 413.
+	MaxBodyBytes int64
+	// ReadHeaderTimeout, ReadTimeout, WriteTimeout and IdleTimeout are
+	// applied by HTTPServer (defaults 5s, 1m, 1m, 2m). The events stream
+	// survives WriteTimeout by clearing its write deadline per-response.
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	WriteTimeout      time.Duration
+	IdleTimeout       time.Duration
 }
 
 // Server is the daemon: one fleet behind an http.Handler. Create with New,
@@ -50,6 +74,14 @@ type Server struct {
 	recovery *fleet.Recovery
 	mux      *http.ServeMux
 	retryCap int
+
+	netFaults  *faults.NetInjector
+	reqTimeout time.Duration
+	maxBody    int64
+	readHdrTO  time.Duration
+	readTO     time.Duration
+	writeTO    time.Duration
+	idleTO     time.Duration
 
 	draining  atomic.Bool
 	drainOnce sync.Once
@@ -73,12 +105,37 @@ type registered struct {
 // live under both their old and new IDs.
 func New(cfg Config) (*Server, error) {
 	s := &Server{
-		retryCap:  cfg.RetryAfterCap,
-		drainDone: make(chan struct{}),
-		sessions:  make(map[int]registered),
+		retryCap:   cfg.RetryAfterCap,
+		netFaults:  cfg.NetFaults,
+		reqTimeout: cfg.RequestTimeout,
+		maxBody:    cfg.MaxBodyBytes,
+		readHdrTO:  cfg.ReadHeaderTimeout,
+		readTO:     cfg.ReadTimeout,
+		writeTO:    cfg.WriteTimeout,
+		idleTO:     cfg.IdleTimeout,
+		drainDone:  make(chan struct{}),
+		sessions:   make(map[int]registered),
 	}
 	if s.retryCap <= 0 {
 		s.retryCap = 30
+	}
+	if s.reqTimeout == 0 {
+		s.reqTimeout = 30 * time.Second
+	}
+	if s.maxBody == 0 {
+		s.maxBody = 1 << 20
+	}
+	if s.readHdrTO <= 0 {
+		s.readHdrTO = 5 * time.Second
+	}
+	if s.readTO <= 0 {
+		s.readTO = time.Minute
+	}
+	if s.writeTO <= 0 {
+		s.writeTO = time.Minute
+	}
+	if s.idleTO <= 0 {
+		s.idleTO = 2 * time.Minute
 	}
 	if cfg.Resume && cfg.Fleet.StateDir != "" && fleet.PendingSessions(cfg.Fleet.StateDir) > 0 {
 		f, rec, err := fleet.Recover(cfg.Fleet.StateDir, cfg.Fleet)
@@ -108,8 +165,181 @@ func (s *Server) Fleet() *fleet.Fleet { return s.fleet }
 // Recovery reports what a resumed daemon salvaged (nil for fresh starts).
 func (s *Server) Recovery() *fleet.Recovery { return s.recovery }
 
-// Handler returns the daemon's HTTP API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the daemon's HTTP API wrapped in its hardening
+// middleware: panic recovery outermost (a panicking handler journals the
+// event and answers 500 instead of killing the daemon), a per-request
+// context deadline, and — only when Config.NetFaults is set — the chaos
+// layer that injects delays, 500s, severed bodies and panics.
+func (s *Server) Handler() http.Handler {
+	return s.recoverPanics(s.withDeadline(s.withChaos(s.mux)))
+}
+
+// HTTPServer wraps Handler in an http.Server with real timeouts, so a
+// slow-loris client or a stuck write cannot pin a connection forever.
+// Callers still own ListenAndServe/Serve and Shutdown.
+func (s *Server) HTTPServer() *http.Server {
+	return &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: s.readHdrTO,
+		ReadTimeout:       s.readTO,
+		WriteTimeout:      s.writeTO,
+		IdleTimeout:       s.idleTO,
+	}
+}
+
+// routeKey is the fault-injection and journal key for a request. It uses
+// the raw URL path, not the mux pattern, so ordinals advance per concrete
+// route the same way the client-side injector counts them.
+func routeKey(r *http.Request) string { return r.Method + " " + r.URL.Path }
+
+// pathSessionID extracts the {id} segment from /v1/sessions/{id}[/...].
+// The recovery middleware sits outside the mux, so PathValue is not
+// populated yet and the path is parsed by hand.
+func pathSessionID(path string) (int, bool) {
+	rest, ok := strings.CutPrefix(path, "/v1/sessions/")
+	if !ok {
+		return 0, false
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	id, err := strconv.Atoi(rest)
+	return id, err == nil
+}
+
+// trackWriter remembers whether anything was written, so the recovery
+// middleware knows whether a 500 can still be sent after a panic.
+type trackWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (t *trackWriter) WriteHeader(code int) {
+	t.wrote = true
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *trackWriter) Write(b []byte) (int, error) {
+	t.wrote = true
+	return t.ResponseWriter.Write(b)
+}
+
+func (t *trackWriter) Unwrap() http.ResponseWriter { return t.ResponseWriter }
+
+func (t *trackWriter) Flush() {
+	if f, ok := t.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// severWriter delivers exactly `remaining` more body bytes, then aborts
+// the connection mid-response with http.ErrAbortHandler — the injected
+// "server died mid-body" failure clients must survive.
+type severWriter struct {
+	http.ResponseWriter
+	remaining int
+}
+
+func (s *severWriter) Write(b []byte) (int, error) {
+	if len(b) >= s.remaining {
+		s.ResponseWriter.Write(b[:s.remaining])
+		if f, ok := s.ResponseWriter.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}
+	s.remaining -= len(b)
+	return s.ResponseWriter.Write(b)
+}
+
+func (s *severWriter) Unwrap() http.ResponseWriter { return s.ResponseWriter }
+
+func (s *severWriter) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// recoverPanics keeps the daemon alive through handler panics: the panic
+// is journaled as a fleet-level "handler-panic" event, the session the
+// request addressed (if still queued) is marked Degraded so pollers see a
+// terminal state instead of hanging forever, and the client gets a 500 if
+// the response hadn't started. http.ErrAbortHandler is re-thrown — that
+// is net/http's sanctioned "abort this connection" signal and the sever
+// fault depends on it propagating.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tw := &trackWriter{ResponseWriter: w}
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if err, ok := p.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+				panic(p)
+			}
+			s.fleet.RecordPanic(routeKey(r), fmt.Sprint(p))
+			if id, ok := pathSessionID(r.URL.Path); ok {
+				s.fleet.DegradeQueued(id)
+			}
+			if !tw.wrote {
+				writeErr(tw, http.StatusInternalServerError, "internal error: handler panicked")
+			}
+		}()
+		next.ServeHTTP(tw, r)
+	})
+}
+
+// withDeadline bounds every non-streaming request with a context deadline
+// so a wedged handler cannot hold a connection past RequestTimeout. The
+// events stream is exempt: it is long-lived by contract.
+func (s *Server) withDeadline(next http.Handler) http.Handler {
+	if s.reqTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/events" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// withChaos is the daemon-side network fault layer. Each request draws at
+// most one fault from the injector, keyed by (seed, route, ordinal):
+// a delay before dispatch, an injected 500, a response severed after
+// SeverAfter body bytes, or a handler panic (which then exercises
+// recoverPanics end to end). A nil injector returns next unchanged, so
+// the zero-knob path has no wrapper at all.
+func (s *Server) withChaos(next http.Handler) http.Handler {
+	if s.netFaults == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f := s.netFaults.Decide(routeKey(r))
+		switch f.Kind {
+		case faults.NetDelay:
+			t := time.NewTimer(f.Delay)
+			select {
+			case <-t.C:
+			case <-r.Context().Done():
+				t.Stop()
+				return
+			}
+		case faults.NetError:
+			writeErr(w, http.StatusInternalServerError, "%v", f.Err())
+			return
+		case faults.NetSever:
+			w = &severWriter{ResponseWriter: w, remaining: f.SeverAfter}
+		case faults.NetPanic:
+			panic(fmt.Sprintf("injected chaos panic on %s", routeKey(r)))
+		}
+		next.ServeHTTP(w, r)
+	})
+}
 
 // DrainStats reports what a graceful shutdown did.
 type DrainStats struct {
@@ -255,10 +485,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, "daemon is draining")
 		return
 	}
+	body := r.Body
+	if s.maxBody > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
 	var rec fleet.SpecRecord
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&rec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "spec body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "decode spec: %v", err)
 		return
 	}
@@ -467,6 +706,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	journal := s.fleet.Journal()
 	wake := journal.Watch()
 	defer journal.Unwatch(wake)
+
+	// The stream is long-lived by contract: clear the per-response write
+	// deadline so HTTPServer's WriteTimeout doesn't cut it off mid-tail.
+	// Best-effort — a ResponseWriter that can't do it just keeps whatever
+	// deadline the server set.
+	http.NewResponseController(w).SetWriteDeadline(time.Time{})
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)

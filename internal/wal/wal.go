@@ -74,6 +74,12 @@ type Config struct {
 	// Interval is the append count between fsyncs under SyncInterval
 	// (default 64).
 	Interval int
+	// FaultHook, when set, is consulted before each physical operation
+	// ("write" before a record reaches the file, "sync" before an fsync)
+	// and its non-nil error is returned in place of performing it. It is
+	// the chaos layer's seam: a deterministic injector failing exactly the
+	// operations a flaky disk would, without touching the filesystem.
+	FaultHook func(op string) error
 }
 
 func (c Config) withDefaults() Config {
@@ -248,6 +254,11 @@ func (l *Log) Append(payload []byte) error {
 	if l.closed {
 		return fmt.Errorf("wal: log is closed")
 	}
+	if h := l.cfg.FaultHook; h != nil {
+		if err := h("write"); err != nil {
+			return err
+		}
+	}
 	if _, err := l.f.Write(frame(payload)); err != nil {
 		return err
 	}
@@ -256,14 +267,24 @@ func (l *Log) Append(payload []byte) error {
 	switch l.cfg.Sync {
 	case SyncAlways:
 		l.unsynct = 0
-		return l.f.Sync()
+		return l.syncLocked()
 	case SyncInterval:
 		if l.unsynct >= l.cfg.Interval {
 			l.unsynct = 0
-			return l.f.Sync()
+			return l.syncLocked()
 		}
 	}
 	return nil
+}
+
+// syncLocked runs the fault hook, then fsyncs. Callers hold l.mu.
+func (l *Log) syncLocked() error {
+	if h := l.cfg.FaultHook; h != nil {
+		if err := h("sync"); err != nil {
+			return err
+		}
+	}
+	return l.f.Sync()
 }
 
 // Sync forces everything appended so far to stable storage.
@@ -274,7 +295,7 @@ func (l *Log) Sync() error {
 		return nil
 	}
 	l.unsynct = 0
-	return l.f.Sync()
+	return l.syncLocked()
 }
 
 // Close syncs and closes the log.
@@ -306,6 +327,46 @@ func (l *Log) Abort() {
 	l.f.Close()
 }
 
+// AbortTorn is Abort with a torn tail: it flushes what the log has, tears
+// the final tear bytes off the file (never reaching back into the header),
+// and closes without syncing the truncation. The result is exactly what a
+// power cut mid-write leaves behind — a longest-valid-prefix file whose
+// final record(s) are partial — so crash tests can exercise salvage on
+// demand instead of hoping for an unlucky kill. It returns how many bytes
+// were actually torn.
+func (l *Log) AbortTorn(tear int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0
+	}
+	l.closed = true
+	defer l.f.Close()
+	// Make sure the bytes being torn are on disk in the first place;
+	// otherwise the OS may have less than we think and the tear is moot.
+	if err := l.f.Sync(); err != nil {
+		return 0
+	}
+	size, err := l.f.Seek(0, 2)
+	if err != nil {
+		return 0
+	}
+	if tear <= 0 {
+		return 0
+	}
+	floor := int64(len(header))
+	if size-int64(tear) < floor {
+		tear = int(size - floor)
+	}
+	if tear <= 0 {
+		return 0
+	}
+	if err := l.f.Truncate(size - int64(tear)); err != nil {
+		return 0
+	}
+	return tear
+}
+
 // Records is the number of valid records in the file.
 func (l *Log) Records() int {
 	l.mu.Lock()
@@ -333,6 +394,19 @@ func ReadAll(path string) ([][]byte, Salvage, error) {
 // complete new one survives a crash, never a mix. Snapshot files use the
 // same framing as the journal so one salvage reader serves both.
 func WriteAtomic(path string, payloads [][]byte) error {
+	return WriteAtomicHook(path, payloads, nil)
+}
+
+// WriteAtomicHook is WriteAtomic with a fault hook consulted (op
+// "snapshot") before the write begins; a non-nil hook error aborts the
+// write with the old file untouched — which is also the failure atomicity
+// a real mid-snapshot disk error would leave behind.
+func WriteAtomicHook(path string, payloads [][]byte, hook func(op string) error) error {
+	if hook != nil {
+		if err := hook("snapshot"); err != nil {
+			return err
+		}
+	}
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {

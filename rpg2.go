@@ -434,3 +434,38 @@ func NewFaultInjector(cfg FaultConfig) *FaultInjector { return faults.New(cfg) }
 // IsInjectedFault reports whether an error (e.g. FleetSession.Err) was
 // manufactured by a fault injector rather than arising organically.
 func IsInjectedFault(err error) bool { return faults.Injected(err) }
+
+// DiskFaultConfig seeds a deterministic disk fault injector: per-op
+// failure rates for WAL writes, fsyncs, and snapshot rewrites, plus a
+// torn-tail byte budget for simulated crashes.
+type DiskFaultConfig = faults.DiskConfig
+
+// DiskFaultInjector decides, purely from (seed, file key, op ordinal),
+// whether a persistence operation fails. Plug one into
+// FleetConfig.DiskFaults to exercise degradation and self-healing re-arm
+// reproducibly.
+type DiskFaultInjector = faults.DiskInjector
+
+// NewDiskFaultInjector builds a disk fault injector from a seeded config.
+func NewDiskFaultInjector(cfg DiskFaultConfig) *DiskFaultInjector { return faults.NewDisk(cfg) }
+
+// IsInjectedDiskFault reports whether an error was manufactured by a disk
+// fault injector rather than arising from the real filesystem.
+func IsInjectedDiskFault(err error) bool { return faults.InjectedDisk(err) }
+
+// NetFaultConfig seeds a deterministic network fault injector: rates for
+// delays, injected errors/500s, responses severed mid-body, and handler
+// panics, keyed by (seed, route, request ordinal).
+type NetFaultConfig = faults.NetConfig
+
+// NetFaultInjector draws at most one network fault per request. Plug one
+// into FleetDaemonConfig.NetFaults for daemon-side injection, or wrap a
+// client transport with its Transport method for client-side injection.
+type NetFaultInjector = faults.NetInjector
+
+// NewNetFaultInjector builds a network fault injector from a seeded config.
+func NewNetFaultInjector(cfg NetFaultConfig) *NetFaultInjector { return faults.NewNet(cfg) }
+
+// IsInjectedNetFault reports whether an error was manufactured by a
+// network fault injector rather than arising from the real network.
+func IsInjectedNetFault(err error) bool { return faults.InjectedNet(err) }
