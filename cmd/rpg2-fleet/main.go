@@ -55,6 +55,7 @@ type options struct {
 	nostore   bool
 	translate bool
 	shards    int
+	storeAddr string
 
 	// Admission & resilience knobs.
 	faults    float64
@@ -99,6 +100,7 @@ func main() {
 	flag.BoolVar(&o.nostore, "no-store", false, "disable the profile store (every session cold)")
 	flag.BoolVar(&o.translate, "translate", false, "on a store miss, seed from a sibling machine's profile with a latency-scaled distance")
 	flag.IntVar(&o.shards, "store-shards", 0, "shard the profile store by (bench, input) hash across this many locks (0/1 = single-shard store, byte-identical to the unsharded fleet)")
+	flag.StringVar(&o.storeAddr, "store-addr", "", "share an rpg2-stored daemon's profile store at this base URL (e.g. http://127.0.0.1:8049) instead of an in-process store")
 	flag.Float64Var(&o.faults, "faults", 0, "deterministic fault-injection rate per controller stage (0 = off)")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault injector seed")
 	flag.IntVar(&o.retries, "retries", 0, "retry budget for failed/rolled-back sessions (0 = no retry lane)")
@@ -213,6 +215,7 @@ func run(o options) error {
 		RunSeconds:         o.seconds,
 		DisableStore:       o.nostore,
 		StoreShards:        o.shards,
+		StoreAddr:          o.storeAddr,
 		Translate:          o.translate,
 		Quota:              o.quota,
 		MaxRetries:         o.retries,

@@ -43,6 +43,7 @@ type options struct {
 	nostore   bool
 	translate bool
 	shards    int
+	storeAddr string
 
 	quota       int
 	tenantQuota int
@@ -90,6 +91,7 @@ func main() {
 	flag.BoolVar(&o.nostore, "no-store", false, "disable the profile store (every session cold)")
 	flag.BoolVar(&o.translate, "translate", false, "on a store miss, seed from a sibling machine's profile with a latency-scaled distance")
 	flag.IntVar(&o.shards, "store-shards", 0, "shard the profile store by (bench, input) hash across this many locks (0/1 = single-shard store, byte-identical to the unsharded fleet)")
+	flag.StringVar(&o.storeAddr, "store-addr", "", "share an rpg2-stored daemon's profile store at this base URL (e.g. http://127.0.0.1:8049) instead of an in-process store")
 	flag.IntVar(&o.quota, "quota", 0, "max in-flight sessions per (benchmark, input) pair (0 = unlimited)")
 	flag.IntVar(&o.tenantQuota, "tenant-quota", 0, "max in-flight sessions per tenant (0 = unlimited)")
 	flag.IntVar(&o.maxQueue, "max-queue", 0, "max waiting sessions before submissions get 429 (0 = unbounded)")
@@ -175,6 +177,7 @@ func run(o options) error {
 			RunSeconds:       o.seconds,
 			DisableStore:     o.nostore,
 			StoreShards:      o.shards,
+			StoreAddr:        o.storeAddr,
 			Translate:        o.translate,
 			Quota:            o.quota,
 			TenantQuota:      o.tenantQuota,

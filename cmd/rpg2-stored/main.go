@@ -1,0 +1,129 @@
+// Command rpg2-stored serves a shared profile store over HTTP: the
+// out-of-process backend several rpg2-fleet/rpg2-fleetd processes on one
+// machine type point -store-addr at, so warm profiles committed by one
+// fleet seed sessions in another. Generations live here, which is what
+// lets cross-process commit races resolve exactly like in-process ones.
+//
+// Usage:
+//
+//	rpg2-stored -listen 127.0.0.1:8049 -store-shards 8
+//	rpg2-stored -listen :8049 -state-dir ./store-state -fsync always
+//	rpg2-stored -listen :8049 -state-dir ./store-state -fresh
+//
+// With -state-dir the store is crash-safe: mutations journal to a
+// checksummed WAL and the whole store snapshots atomically every
+// -snapshot-every mutations; a restart recovers the fold of the two. A
+// disk failure degrades persistence (the daemon keeps serving from
+// memory, the stats endpoint reports it) instead of dropping requests.
+//
+// SIGINT/SIGTERM triggers a graceful drain: store requests get 503, a
+// final snapshot lands, the WAL closes, and the process exits 0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rpg2"
+)
+
+type options struct {
+	listen   string
+	shards   int
+	maxReuse int
+
+	stateDir string
+	fresh    bool
+	fsync    string
+	snapshot int
+
+	addrFile   string
+	reqTimeout time.Duration
+	maxBody    int64
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.listen, "listen", "127.0.0.1:8049", "address to serve the store API on")
+	flag.IntVar(&o.shards, "store-shards", 0, "shard the store by (bench, input) hash across this many locks (0/1 = single-shard)")
+	flag.IntVar(&o.maxReuse, "max-reuse", 0, "serves per committed entry before it goes stale (0 = default 16)")
+	flag.StringVar(&o.stateDir, "state-dir", "", "persist the op journal and snapshots here (empty = in-memory only)")
+	flag.BoolVar(&o.fresh, "fresh", false, "discard the state dir's prior contents instead of recovering them")
+	flag.StringVar(&o.fsync, "fsync", "interval", "WAL durability: interval, always, or never")
+	flag.IntVar(&o.snapshot, "snapshot-every", 0, "journaled mutations between snapshots (0 = default 256, negative = journal only)")
+	flag.StringVar(&o.addrFile, "addr-file", "", "write the bound listen address to this file once serving (for test harnesses using port 0)")
+	flag.DurationVar(&o.reqTimeout, "request-timeout", 0, "per-request context deadline (0 = default 30s, negative = off)")
+	flag.Int64Var(&o.maxBody, "max-body", 0, "max request body size in bytes, 413 past it (0 = default 1 MiB, negative = unlimited)")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "rpg2-stored:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options) error {
+	fsync, err := rpg2.ParseFsyncPolicy(o.fsync)
+	if err != nil {
+		return err
+	}
+	srv, err := rpg2.NewStoreDaemon(rpg2.StoreDaemonConfig{
+		Store:          rpg2.StoreConfig{MaxReuse: o.maxReuse},
+		Shards:         o.shards,
+		StateDir:       o.stateDir,
+		Fresh:          o.fresh,
+		Fsync:          fsync,
+		SnapshotEvery:  o.snapshot,
+		RequestTimeout: o.reqTimeout,
+		MaxBodyBytes:   o.maxBody,
+	})
+	if err != nil {
+		return err
+	}
+	if n := srv.Recovered(); n > 0 {
+		fmt.Printf("rpg2-stored: recovered %d entries from %s\n", n, o.stateDir)
+	}
+
+	ln, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rpg2-stored: serving on http://%s (%d shards)\n", ln.Addr(), srv.Store().Shards())
+	if o.addrFile != "" {
+		// Write-then-rename so a watching parent never reads a torn file.
+		tmp := o.addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, o.addrFile); err != nil {
+			return err
+		}
+	}
+
+	httpSrv := srv.HTTPServer()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		signal.Stop(sigc) // a second signal kills the process normally
+		fmt.Fprintf(os.Stderr, "rpg2-stored: %v: draining (final snapshot, WAL close)\n", sig)
+	}
+
+	st := srv.Drain()
+	httpSrv.Close()
+	if msg, bad := srv.Degraded(); bad {
+		fmt.Fprintf(os.Stderr, "rpg2-stored: persistence degraded: %s\n", msg)
+	}
+	fmt.Printf("rpg2-stored: drained: %d entries live, snapshotted %v\n", st.Entries, st.Snapshotted)
+	return nil
+}

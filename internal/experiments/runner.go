@@ -53,6 +53,11 @@ type Options struct {
 	// byte-identical at any shard count — the store's policy decisions
 	// depend on keys, not layout.
 	StoreShards int
+	// StoreAddr, when set, points the fleet at a shared rpg2-stored
+	// daemon at this base URL instead of an in-process store. Results
+	// then depend on what the daemon already holds: only byte-identical
+	// to the in-process runs against a fresh, private daemon.
+	StoreAddr string
 	// Sweep configures offline distance sweeps.
 	Sweep baselines.SweepConfig
 	// Seed is the root seed for scheme randomness.
@@ -157,6 +162,7 @@ func NewRunner(opts Options) *Runner {
 		Workers:     opts.Parallelism,
 		RunSeconds:  opts.RunSeconds,
 		StoreShards: opts.StoreShards,
+		StoreAddr:   opts.StoreAddr,
 	})
 	return &Runner{
 		opts:    opts,

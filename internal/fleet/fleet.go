@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rpg2/internal/admission"
@@ -20,6 +21,7 @@ import (
 	"rpg2/internal/faults"
 	"rpg2/internal/machine"
 	rpgcore "rpg2/internal/rpg2"
+	"rpg2/internal/store/remote"
 	"rpg2/internal/wal"
 	"rpg2/internal/workloads"
 )
@@ -394,6 +396,19 @@ type Config struct {
 	StoreShards int
 	// DisableStore turns off profile reuse: every session runs cold.
 	DisableStore bool
+	// StoreAddr, when set, replaces the in-process store with a client for
+	// a shared rpg2-stored daemon at this base URL (e.g.
+	// "http://127.0.0.1:8049"), so several fleet processes share one
+	// profile store: generations live in the daemon and cross-process
+	// commit races resolve exactly like in-process ones. If the daemon
+	// becomes unreachable the fleet degrades permanently to a cold
+	// process-local store (journaled as a fleet-level "store-degraded"
+	// event and surfaced in the snapshot) rather than blocking sessions.
+	// Because the daemon owns its own durability, the fleet's WAL stops
+	// snapshotting store contents and Recover stops re-importing them.
+	// Ignored when Store is set or DisableStore is on; empty (the zero
+	// value) keeps the in-process store byte-identical to before.
+	StoreAddr string
 	// WarmProfileSeconds is the shortened PEBS window for store-seeded
 	// sessions (default 0.5; the cold default is the paper's 2 s).
 	WarmProfileSeconds float64
@@ -623,6 +638,12 @@ type Fleet struct {
 	// snapshot replace happen one at a time, so concurrent workers never
 	// interleave writes through the snapshot's shared temp file.
 	snapMu sync.Mutex
+
+	// Remote-store degrade state (Config.StoreAddr): the client fires
+	// OnDegrade exactly once; the error lands before the flag flips so
+	// Snapshot never reads a degraded status with no cause.
+	storeDegraded atomic.Bool
+	storeErr      atomic.Pointer[string]
 }
 
 // New starts a fleet: the worker pool is live immediately and sessions run
@@ -659,7 +680,24 @@ func newFleet(cfg Config) *Fleet {
 		}),
 	}
 	if f.store == nil && !cfg.DisableStore {
-		f.store = newConfiguredStore(cfg.StoreConfig, cfg.StoreShards)
+		if cfg.StoreAddr != "" {
+			// Shared out-of-process store. The fallback mirrors the
+			// in-process configuration, so a degraded fleet behaves exactly
+			// like one that was never pointed at a daemon — just cold.
+			f.store = remote.New(remote.Config{
+				BaseURL:        cfg.StoreAddr,
+				FallbackConfig: cfg.StoreConfig,
+				FallbackShards: cfg.StoreShards,
+				OnDegrade: func(err error) {
+					msg := err.Error()
+					f.storeErr.Store(&msg)
+					f.storeDegraded.Store(true)
+					f.journal.add(Event{Session: -1, Type: "store-degraded", Reason: cfg.StoreAddr, Err: msg})
+				},
+			})
+		} else {
+			f.store = newConfiguredStore(cfg.StoreConfig, cfg.StoreShards)
+		}
 	}
 	f.cond = sync.NewCond(&f.mu)
 	return f
@@ -906,7 +944,10 @@ func (f *Fleet) persistSnapshot() {
 // the manifest's journal watermark, not a global freeze, is what makes the
 // recovered whole consistent.
 func (f *Fleet) captureStore() storeState {
-	if f.store == nil || f.cfg.DisableStore {
+	// A remote store is the daemon's to persist: snapshotting its contents
+	// into this fleet's WAL would re-import another process's entries (and
+	// stale generations) on recovery, so the WAL records an empty store.
+	if f.store == nil || f.cfg.DisableStore || f.cfg.StoreAddr != "" {
 		return storeState{shards: 1, perShard: [][]KeyedEntry{nil}}
 	}
 	n := f.store.Shards()
@@ -1021,6 +1062,15 @@ func (f *Fleet) Snapshot() Snapshot {
 	if f.persist != nil {
 		f.persist.health(&snap)
 	}
+	if f.cfg.StoreAddr != "" && !f.cfg.DisableStore {
+		snap.RemoteStore = "active"
+		if f.storeDegraded.Load() {
+			snap.RemoteStore = "degraded"
+			if msg := f.storeErr.Load(); msg != nil {
+				snap.RemoteStoreError = *msg
+			}
+		}
+	}
 	return snap
 }
 
@@ -1063,7 +1113,7 @@ func (f *Fleet) worker() {
 			Wait: dec.Waited,
 		})
 		if dec.Parked {
-			f.parkSession(s, time.Now())
+			f.parkSession(s)
 		} else {
 			f.runSession(s)
 		}
@@ -1077,11 +1127,18 @@ func (f *Fleet) worker() {
 	}
 }
 
-// parkSession terminates a session the circuit breaker refused to run.
-func (f *Fleet) parkSession(s *Session, started time.Time) {
+// parkSession terminates a session the circuit breaker refused to run. A
+// parked session never dispatches, so its wall time is exactly zero by
+// definition — no wall-clock read, so the parked path stays as
+// deterministic as the virtual-clock scheduling that parked it. (The
+// other time.Now uses in this package — journal Wall stamps, session wall
+// latencies, SessionsPerSec — are observability-only wall metrics;
+// admission, retry, and breaker decisions all run on the scheduler's
+// virtual clock, and the byte-identity CI checks strip wall fields.)
+func (f *Fleet) parkSession(s *Session) {
 	f.transition(s, Degraded, 0)
 	s.mu.Lock()
-	s.wall = time.Since(started)
+	s.wall = 0
 	s.mu.Unlock()
 	f.metrics.degrade(s.Wall())
 	f.journal.add(Event{

@@ -190,6 +190,14 @@ type Snapshot struct {
 	// rides in PersistenceError).
 	Persistence      string `json:"persistence,omitempty"`
 	PersistenceError string `json:"persistence_error,omitempty"`
+	// RemoteStore reports the shared out-of-process profile store: ""
+	// when the fleet owns its store in-process, "active" while the
+	// configured store daemon answers, "degraded" after the client spent
+	// its retry budget and fell back permanently to a process-local store
+	// (the error rides in RemoteStoreError). Omitted when no store
+	// address is configured, so zero-knob snapshots stay byte-identical.
+	RemoteStore      string `json:"remote_store,omitempty"`
+	RemoteStoreError string `json:"remote_store_error,omitempty"`
 	WALEpoch         int    `json:"wal_epoch,omitempty"`
 	WALRecords       int    `json:"wal_records,omitempty"`
 	WALSnapshots     int    `json:"wal_snapshots,omitempty"`
@@ -489,6 +497,12 @@ func (s Snapshot) Render() string {
 			fmt.Fprintf(&b, "  persistence    re-arm pending in %d events (%d degradations, %d prior re-arms)\n",
 				s.PersistRearmIn, s.PersistDegradations, s.PersistRearms)
 		}
+	}
+	switch s.RemoteStore {
+	case "active":
+		fmt.Fprintf(&b, "  remote store   active (shared store daemon)\n")
+	case "degraded":
+		fmt.Fprintf(&b, "  remote store   degraded (continuing on a process-local store): %s\n", s.RemoteStoreError)
 	}
 	if s.DiskFaultsInjected > 0 {
 		fmt.Fprintf(&b, "  chaos          %d disk faults injected\n", s.DiskFaultsInjected)

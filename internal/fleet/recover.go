@@ -199,7 +199,9 @@ func Recover(stateDir string, cfg Config) (*Fleet, *Recovery, error) {
 	// the network still hold pre-crash session IDs, so re-admitted (and
 	// brand-new) sessions must never collide with them.
 	f.nextID = st.maxID + 1
-	if f.store != nil && !cfg.DisableStore {
+	// A remote store is never re-imported: the daemon owns the live state
+	// (and its generations), and the WAL recorded an empty store anyway.
+	if f.store != nil && !cfg.DisableStore && cfg.StoreAddr == "" {
 		entries := make([]KeyedEntry, 0, len(st.entries))
 		for _, k := range st.order {
 			if e, ok := st.entries[k]; ok {

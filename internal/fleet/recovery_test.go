@@ -67,7 +67,12 @@ func TestCrashHelperProcess(t *testing.T) {
 // journalLedger independently replays a journal WAL file: the committed
 // store keys that must survive recovery, and per-session terminality. It
 // deliberately re-derives the invariants from the raw file rather than
-// trusting Recover's own accounting.
+// trusting Recover's own accounting — but it must mirror recovery's
+// *rules*: any session-tagged event makes the session known to the
+// journal (chaos can swallow the queued record while a later store event
+// survives the same session), and a session whose queued record never
+// made it to disk has no spec to re-admit, so recovery books it as a
+// terminal record rather than losing it.
 func journalLedger(t *testing.T, dir string) (keys map[Key]bool, sessions, terminal int) {
 	t.Helper()
 	recs, _, err := wal.ReadAll(filepath.Join(dir, journalFile))
@@ -75,7 +80,11 @@ func journalLedger(t *testing.T, dir string) (keys map[Key]bool, sessions, termi
 		t.Fatalf("read journal: %v", err)
 	}
 	keys = make(map[Key]bool)
-	state := make(map[int]bool) // session -> saw a terminal event last
+	type led struct {
+		queued bool // a queued record with a spec survived
+		done   bool // saw a terminal event last
+	}
+	state := make(map[int]*led)
 	for _, rec := range recs {
 		var e Event
 		if err := json.Unmarshal(rec, &e); err != nil || e.Type == "" {
@@ -90,22 +99,25 @@ func journalLedger(t *testing.T, dir string) (keys map[Key]bool, sessions, termi
 		if e.Session < 0 {
 			continue
 		}
+		tr := state[e.Session]
+		if tr == nil {
+			tr = &led{}
+			state[e.Session] = tr
+		}
 		switch e.Type {
-		case "queued", "admitted":
-			if _, ok := state[e.Session]; !ok {
-				state[e.Session] = false
-			}
-		case "retry-scheduled":
-			state[e.Session] = false
+		case "queued":
+			tr.queued = e.Spec != nil
+		case "retry-scheduled", "retune-scheduled":
+			tr.done = false
 		case "session-done", "session-degraded":
-			state[e.Session] = true
+			tr.done = true
 		case "session-failed":
-			state[e.Session] = e.Err != ErrCanceled.Error()
+			tr.done = e.Err != ErrCanceled.Error()
 		}
 	}
-	for _, done := range state {
+	for _, tr := range state {
 		sessions++
-		if done {
+		if tr.done || !tr.queued {
 			terminal++
 		}
 	}

@@ -178,6 +178,30 @@ func (c *Client) backoff(ctx context.Context, attempt int) error {
 	return c.sleepFor(ctx, c.jitter(d))
 }
 
+// parseRetryAfter resolves a Retry-After header, which RFC 9110 allows in
+// two forms: non-negative delta-seconds ("3") and an HTTP-date ("Wed, 21
+// Oct 2015 07:28:00 GMT" — what proxies often emit). A date is converted
+// to the delta from now. Malformed values, and dates already in the past,
+// report !ok so the caller falls back to its normal backoff default
+// instead of a zero-length wait.
+func parseRetryAfter(raw string, now time.Time) (time.Duration, bool) {
+	if raw == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(raw); err == nil {
+		if secs > 0 {
+			return time.Duration(secs) * time.Second, true
+		}
+		return 0, false
+	}
+	if at, err := http.ParseTime(raw); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
 // decodeErr extracts the {"error": ...} body of a non-2xx response.
 func decodeErr(resp *http.Response) string {
 	var ae struct {
@@ -248,10 +272,8 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 			msg := decodeErr(resp)
 			resp.Body.Close()
 			after := time.Second
-			if raw := resp.Header.Get("Retry-After"); raw != "" {
-				if secs, err := strconv.Atoi(raw); err == nil && secs > 0 {
-					after = time.Duration(secs) * time.Second
-				}
+			if d, ok := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+				after = d
 			}
 			over := &Overloaded{RetryAfter: after, Message: msg}
 			// Overload retries are budgeted separately from transient ones:

@@ -1,0 +1,433 @@
+// Package remote is the client side of the out-of-process profile store:
+// a store.Store implementation that forwards every operation to an
+// rpg2-stored daemon over HTTP/JSON. A fleet configured with a store
+// address swaps this in where a Memory or Sharded store would sit, and
+// nothing above the interface can tell the difference — generations live
+// in the daemon, so two fleet processes racing a commit on the same key
+// resolve exactly like two in-process workers.
+//
+// The interface has no error returns, so the transport must never surface
+// one. Transient failures (connection errors, 502/503/504) retry with the
+// same capped, hash-jittered exponential backoff the fleet client uses.
+// When the budget is spent — the daemon is gone, not flaky — the client
+// degrades permanently to a process-local fallback store and fires
+// OnDegrade exactly once so the fleet can journal the event. The fallback
+// starts cold: entries the daemon held are lost to this process (it may
+// not even be reachable to ask), which trades warm-start hit rate for
+// liveness — sessions keep finishing, they just re-profile. There is no
+// re-attach: flapping between a shared and a private store would split
+// generations across two histories and break the gen-guard contract the
+// daemon exists to arbitrate.
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rpg2/internal/faults"
+	"rpg2/internal/store"
+)
+
+// Config points a client at a store daemon. Only BaseURL is required.
+type Config struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8049".
+	BaseURL string
+	// HTTP overrides the transport (default http.DefaultClient).
+	HTTP *http.Client
+	// MaxRetries bounds transparent retries of transient failures per
+	// operation (default 4; negative disables retry).
+	MaxRetries int
+	// RetryBase and RetryCap shape the exponential backoff between
+	// retries (defaults 50ms and 1s).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// Timeout bounds each operation end to end, retries included
+	// (default 15s). The ceiling is what turns a hung daemon into a
+	// degrade instead of a wedged worker.
+	Timeout time.Duration
+	// Seed drives the deterministic backoff jitter (default 1).
+	Seed int64
+	// Fallback is the process-local store the client degrades to. Nil
+	// builds one from FallbackConfig and FallbackShards.
+	Fallback       store.Store
+	FallbackConfig store.Config
+	FallbackShards int
+	// OnDegrade, when set, fires exactly once with the error that spent
+	// the retry budget.
+	OnDegrade func(error)
+}
+
+// Client is a store.Store over a store daemon. Safe for concurrent use.
+type Client struct {
+	cfg      Config
+	fb       store.Store
+	draws    atomic.Uint64
+	degraded atomic.Bool
+	degOnce  sync.Once
+	shards   atomic.Int32 // daemon's shard count, 0 until first fetched
+}
+
+var _ store.Store = (*Client)(nil)
+
+// New builds a client; zero-value config fields get defaults. The daemon
+// is not contacted here — an unreachable address degrades on first use,
+// not at construction, so a fleet can start before its store does.
+func New(cfg Config) *Client {
+	if cfg.HTTP == nil {
+		cfg.HTTP = http.DefaultClient
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 4
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 50 * time.Millisecond
+	}
+	if cfg.RetryCap <= 0 {
+		cfg.RetryCap = time.Second
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 15 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Fallback == nil {
+		cfg.Fallback = store.New(cfg.FallbackConfig, cfg.FallbackShards)
+	}
+	return &Client{cfg: cfg, fb: cfg.Fallback}
+}
+
+// Degraded reports whether the client has switched to its local fallback.
+func (c *Client) Degraded() bool { return c.degraded.Load() }
+
+func (c *Client) degrade(err error) {
+	c.degOnce.Do(func() {
+		c.degraded.Store(true)
+		if c.cfg.OnDegrade != nil {
+			c.cfg.OnDegrade(err)
+		}
+	})
+}
+
+// --- wire types (the daemon's endpoint contract) ---
+
+type keyReq struct {
+	Key store.Key `json:"key"`
+}
+
+type commitReq struct {
+	Key   store.Key   `json:"key"`
+	Entry store.Entry `json:"entry"`
+}
+
+type genReq struct {
+	Key store.Key `json:"key"`
+	Gen uint64    `json:"gen"`
+}
+
+type lookupResp struct {
+	Entry store.Entry `json:"entry"`
+	From  store.Key   `json:"from"`
+	Gen   uint64      `json:"gen"`
+	Found bool        `json:"found"`
+}
+
+type genResp struct {
+	Gen uint64 `json:"gen"`
+}
+
+type okResp struct {
+	OK bool `json:"ok"`
+}
+
+type entriesMsg struct {
+	Entries []store.KeyedEntry `json:"entries"`
+}
+
+type statsResp struct {
+	Len           int              `json:"len"`
+	Shards        int              `json:"shards"`
+	Counters      store.Counters   `json:"counters"`
+	ShardCounters []store.Counters `json:"shard_counters"`
+}
+
+// --- transport ---
+
+func transientCode(code int) bool {
+	return code == http.StatusBadGateway ||
+		code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
+}
+
+// jitter spreads a wait over [d/2, d], hash-derived like the fleet
+// client's (salt 33 keeps the streams distinct).
+func (c *Client) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	f := faults.Hash01(uint64(c.cfg.Seed), c.draws.Add(1), 33)
+	return d/2 + time.Duration(f*float64(d/2))
+}
+
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	d := c.cfg.RetryBase << (attempt - 1)
+	if d > c.cfg.RetryCap || d <= 0 {
+		d = c.cfg.RetryCap
+	}
+	t := time.NewTimer(c.jitter(d))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func decodeErr(resp *http.Response) string {
+	var ae struct {
+		Error string `json:"error"`
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(body, &ae) == nil && ae.Error != "" {
+		return ae.Error
+	}
+	return resp.Status
+}
+
+// call runs one operation against the daemon with transient retry under
+// the per-op timeout. in == nil sends a GET; otherwise a JSON POST.
+func (c *Client) call(path string, in, out any) error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.Timeout)
+	defer cancel()
+	var body []byte
+	method := http.MethodGet
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("remote store: encode request: %w", err)
+		}
+		body, method = raw, http.MethodPost
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if attempt > c.cfg.MaxRetries {
+				return lastErr
+			}
+			if err := c.backoff(ctx, attempt); err != nil {
+				if lastErr != nil {
+					return lastErr
+				}
+				return err
+			}
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.cfg.HTTP.Do(req)
+		if err != nil {
+			if ctx.Err() != nil && lastErr != nil {
+				return lastErr
+			}
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			if out != nil {
+				err = json.NewDecoder(resp.Body).Decode(out)
+			}
+			resp.Body.Close()
+			if err != nil {
+				return fmt.Errorf("remote store: decode response: %w", err)
+			}
+			return nil
+		}
+		msg := decodeErr(resp)
+		resp.Body.Close()
+		err = fmt.Errorf("remote store: HTTP %d on %s: %s", resp.StatusCode, path, msg)
+		if !transientCode(resp.StatusCode) {
+			// A non-transient rejection (bad request, daemon draining into
+			// shutdown) will not heal by retrying.
+			return err
+		}
+		lastErr = err
+	}
+}
+
+// op runs call and reports whether the daemon answered; a failure
+// degrades the client so the caller falls back locally.
+func (c *Client) op(path string, in, out any) bool {
+	if c.degraded.Load() {
+		return false
+	}
+	if err := c.call(path, in, out); err != nil {
+		c.degrade(fmt.Errorf("store daemon at %s unreachable: %w", c.cfg.BaseURL, err))
+		return false
+	}
+	return true
+}
+
+// --- store.Store ---
+
+func (c *Client) Lookup(k store.Key) (store.Entry, uint64, bool) {
+	var resp lookupResp
+	if !c.op("/v1/store/lookup", keyReq{Key: k}, &resp) {
+		return c.fb.Lookup(k)
+	}
+	return resp.Entry, resp.Gen, resp.Found
+}
+
+func (c *Client) LookupTranslated(k store.Key) (store.Entry, store.Key, uint64, bool) {
+	var resp lookupResp
+	if !c.op("/v1/store/lookup-translated", keyReq{Key: k}, &resp) {
+		return c.fb.LookupTranslated(k)
+	}
+	return resp.Entry, resp.From, resp.Gen, resp.Found
+}
+
+func (c *Client) Peek(k store.Key) (store.Entry, bool) {
+	var resp lookupResp
+	if !c.op("/v1/store/peek", keyReq{Key: k}, &resp) {
+		return c.fb.Peek(k)
+	}
+	return resp.Entry, resp.Found
+}
+
+func (c *Client) PeekTranslated(k store.Key) (store.Entry, store.Key, bool) {
+	var resp lookupResp
+	if !c.op("/v1/store/peek-translated", keyReq{Key: k}, &resp) {
+		return c.fb.PeekTranslated(k)
+	}
+	return resp.Entry, resp.From, resp.Found
+}
+
+func (c *Client) Commit(k store.Key, e store.Entry) uint64 {
+	var resp genResp
+	if !c.op("/v1/store/commit", commitReq{Key: k, Entry: e}, &resp) {
+		return c.fb.Commit(k, e)
+	}
+	return resp.Gen
+}
+
+func (c *Client) Refund(k store.Key, gen uint64) bool {
+	var resp okResp
+	if !c.op("/v1/store/refund", genReq{Key: k, Gen: gen}, &resp) {
+		return c.fb.Refund(k, gen)
+	}
+	return resp.OK
+}
+
+func (c *Client) Invalidate(k store.Key, gen uint64) bool {
+	var resp okResp
+	if !c.op("/v1/store/invalidate", genReq{Key: k, Gen: gen}, &resp) {
+		return c.fb.Invalidate(k, gen)
+	}
+	return resp.OK
+}
+
+func (c *Client) Freeze() {
+	if !c.op("/v1/store/freeze", struct{}{}, nil) {
+		c.fb.Freeze()
+	}
+}
+
+func (c *Client) Thaw() {
+	if !c.op("/v1/store/thaw", struct{}{}, nil) {
+		c.fb.Thaw()
+	}
+}
+
+func (c *Client) Export() []store.KeyedEntry {
+	var resp entriesMsg
+	if !c.op("/v1/store/export", nil, &resp) {
+		return c.fb.Export()
+	}
+	return resp.Entries
+}
+
+func (c *Client) Import(entries []store.KeyedEntry) {
+	if !c.op("/v1/store/import", entriesMsg{Entries: entries}, nil) {
+		c.fb.Import(entries)
+	}
+}
+
+func (c *Client) Len() int {
+	st, ok := c.stats()
+	if !ok {
+		return c.fb.Len()
+	}
+	return st.Len
+}
+
+func (c *Client) Counters() store.Counters {
+	st, ok := c.stats()
+	if !ok {
+		return c.fb.Counters()
+	}
+	return st.Counters
+}
+
+// Shards reports the daemon's shard layout, cached after the first fetch
+// (the layout is fixed for a daemon's lifetime).
+func (c *Client) Shards() int {
+	if n := c.shards.Load(); n > 0 {
+		return int(n)
+	}
+	st, ok := c.stats()
+	if !ok {
+		return c.fb.Shards()
+	}
+	return st.Shards
+}
+
+// ShardOf routes locally: the daemon's layout uses the same ShardIndex
+// hash, so the answer matches without a round trip per key.
+func (c *Client) ShardOf(k store.Key) int {
+	if c.degraded.Load() {
+		return c.fb.ShardOf(k)
+	}
+	return store.ShardIndex(k, c.Shards())
+}
+
+func (c *Client) ExportShard(i int) []store.KeyedEntry {
+	var resp entriesMsg
+	if !c.op(fmt.Sprintf("/v1/store/shard/%d", i), nil, &resp) {
+		return c.fb.ExportShard(i)
+	}
+	return resp.Entries
+}
+
+func (c *Client) ShardCounters() []store.Counters {
+	st, ok := c.stats()
+	if !ok {
+		return c.fb.ShardCounters()
+	}
+	return st.ShardCounters
+}
+
+func (c *Client) stats() (statsResp, bool) {
+	var st statsResp
+	if !c.op("/v1/store/stats", nil, &st) {
+		return statsResp{}, false
+	}
+	if st.Shards > 0 {
+		c.shards.Store(int32(st.Shards))
+	}
+	return st, true
+}

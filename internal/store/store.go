@@ -158,8 +158,12 @@ func New(cfg Config, shards int) Store {
 // ShardIndex routes a key to a shard by FNV-1a hash of (bench, input).
 // Machine is deliberately excluded — see the shard-key invariant in the
 // package comment. shards <= 1 always routes to 0. The hash is inlined
-// (equivalent to hash/fnv over bench, a 0x00 separator, then input) so the
-// hot routing path never allocates.
+// (equivalent to hash/fnv over bench, bench's length as 4 little-endian
+// bytes, then input) so the hot routing path never allocates. The length
+// frame, not a separator byte, marks the field boundary: a separator that
+// can also appear inside the strings (NUL did) makes pairs like
+// ("a\x00b", "c") and ("a", "b\x00c") alias, so routing would not be a
+// pure function of the pair.
 func ShardIndex(k Key, shards int) int {
 	if shards <= 1 {
 		return 0
@@ -169,7 +173,11 @@ func ShardIndex(k Key, shards int) int {
 	for i := 0; i < len(k.Bench); i++ {
 		h = (h ^ uint32(k.Bench[i])) * prime32
 	}
-	h = (h ^ 0) * prime32
+	n := uint32(len(k.Bench))
+	h = (h ^ (n & 0xff)) * prime32
+	h = (h ^ (n >> 8 & 0xff)) * prime32
+	h = (h ^ (n >> 16 & 0xff)) * prime32
+	h = (h ^ (n >> 24 & 0xff)) * prime32
 	for i := 0; i < len(k.Input); i++ {
 		h = (h ^ uint32(k.Input[i])) * prime32
 	}

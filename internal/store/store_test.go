@@ -1,129 +1,34 @@
-package store
+package store_test
 
 import (
 	"fmt"
 	"reflect"
 	"sync"
 	"testing"
+
+	"rpg2/internal/store"
+	"rpg2/internal/store/storetest"
 )
 
-// impls runs a subtest against each Store implementation.
-func impls(t *testing.T, cfg Config, fn func(t *testing.T, s Store)) {
-	t.Helper()
-	t.Run("memory", func(t *testing.T) { fn(t, NewMemory(cfg)) })
-	t.Run("sharded", func(t *testing.T) { fn(t, NewSharded(cfg, 8)) })
-}
+type (
+	Key      = store.Key
+	Entry    = store.Entry
+	Config   = store.Config
+	Counters = store.Counters
+)
 
-func TestHitMissCounting(t *testing.T) {
-	impls(t, Config{}, func(t *testing.T, s Store) {
-		k := Key{Bench: "pr", Input: "uni", Machine: "clx"}
-		if _, _, ok := s.Lookup(k); ok {
-			t.Fatal("lookup on empty store hit")
-		}
-		s.Commit(k, Entry{Func: "kernel", Distance: 12})
-		if e, _, ok := s.Lookup(k); !ok || e.Distance != 12 {
-			t.Fatalf("lookup after commit = %+v, %v", e, ok)
-		}
-		c := s.Counters()
-		if c.Hits != 1 || c.Misses != 1 || c.Commits != 1 {
-			t.Fatalf("counters = %+v, want 1 hit, 1 miss, 1 commit", c)
-		}
+// The semantic contract lives in storetest; both in-process
+// implementations must pass it identically (the remote backend runs the
+// same suite from its own package).
+func TestMemoryConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T, cfg Config) store.Store {
+		return store.NewMemory(cfg)
 	})
 }
 
-func TestStalenessEvicts(t *testing.T) {
-	impls(t, Config{MaxReuse: 2}, func(t *testing.T, s Store) {
-		k := Key{Bench: "bfs", Input: "rmat", Machine: "clx"}
-		s.Commit(k, Entry{Distance: 8})
-		for i := 0; i < 2; i++ {
-			if _, _, ok := s.Lookup(k); !ok {
-				t.Fatalf("lookup %d missed before budget ran out", i)
-			}
-		}
-		if _, _, ok := s.Lookup(k); ok {
-			t.Fatal("stale entry served past MaxReuse")
-		}
-		c := s.Counters()
-		if c.Stale != 1 || s.Len() != 0 {
-			t.Fatalf("stale = %d, len = %d; want eviction", c.Stale, s.Len())
-		}
-	})
-}
-
-func TestInvalidateGenerationGuard(t *testing.T) {
-	impls(t, Config{}, func(t *testing.T, s Store) {
-		k := Key{Bench: "sssp", Input: "uni", Machine: "hsw"}
-		gen := s.Commit(k, Entry{Distance: 4})
-		// A fresher commit supersedes gen: the old invalidation must no-op.
-		s.Commit(k, Entry{Distance: 6})
-		if s.Invalidate(k, gen) {
-			t.Fatal("stale-generation invalidate dropped a fresher entry")
-		}
-		if e, gen2, ok := s.Lookup(k); !ok || e.Distance != 6 {
-			t.Fatalf("entry lost: %+v, %v", e, ok)
-		} else if !s.Invalidate(k, gen2) {
-			t.Fatal("current-generation invalidate refused")
-		}
-		if s.Len() != 0 {
-			t.Fatal("invalidate left the entry")
-		}
-	})
-}
-
-func TestRefundGuards(t *testing.T) {
-	impls(t, Config{MaxReuse: 2}, func(t *testing.T, s Store) {
-		k := Key{Bench: "bc", Input: "synth", Machine: "clx"}
-		s.Commit(k, Entry{Distance: 3})
-		_, gen, _ := s.Lookup(k)
-		if !s.Refund(k, gen) {
-			t.Fatal("refund of a consumed charge refused")
-		}
-		if s.Refund(k, gen+1) {
-			t.Fatal("refund against a wrong generation accepted")
-		}
-		if s.Refund(k, gen) {
-			t.Fatal("refund with zero consumed charges accepted")
-		}
-		if s.Counters().Refunds != 1 {
-			t.Fatalf("refunds = %d, want 1", s.Counters().Refunds)
-		}
-	})
-}
-
-func TestFrozenServesWithoutConsuming(t *testing.T) {
-	impls(t, Config{MaxReuse: 1}, func(t *testing.T, s Store) {
-		k := Key{Bench: "pr", Input: "uni", Machine: "clx"}
-		s.Commit(k, Entry{Distance: 9})
-		s.Freeze()
-		for i := 0; i < 5; i++ {
-			if _, _, ok := s.Lookup(k); !ok {
-				t.Fatalf("frozen lookup %d missed", i)
-			}
-		}
-		if s.Commit(k, Entry{Distance: 1}) != 0 {
-			t.Fatal("frozen commit succeeded")
-		}
-		s.Thaw()
-		if _, _, ok := s.Lookup(k); !ok {
-			t.Fatal("thawed store lost the entry (frozen lookups consumed budget)")
-		}
-	})
-}
-
-func TestExportImportRoundTrip(t *testing.T) {
-	impls(t, Config{}, func(t *testing.T, src Store) {
-		for i := 0; i < 32; i++ {
-			k := Key{Bench: fmt.Sprintf("b%d", i%7), Input: fmt.Sprintf("in%d", i%5), Machine: fmt.Sprintf("m%d", i%3)}
-			src.Commit(k, Entry{Distance: i + 1, Func: "f"})
-		}
-		exported := src.Export()
-		for _, shards := range []int{1, 2, 8, 13} {
-			dst := New(Config{}, shards)
-			dst.Import(exported)
-			if got := dst.Export(); !reflect.DeepEqual(got, exported) {
-				t.Fatalf("round trip through %d shards changed the export", shards)
-			}
-		}
+func TestShardedConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T, cfg Config) store.Store {
+		return store.NewSharded(cfg, 8)
 	})
 }
 
@@ -131,7 +36,7 @@ func TestExportImportRoundTrip(t *testing.T) {
 // machine-axis sibling of one (bench, input) pair is co-resident — the
 // invariant that keeps translation lookups single-shard.
 func TestShardRoutingInvariant(t *testing.T) {
-	s := NewSharded(Config{}, 8)
+	s := store.NewSharded(Config{}, 8)
 	for i := 0; i < 50; i++ {
 		bench, input := fmt.Sprintf("bench%d", i), fmt.Sprintf("input%d", i*3)
 		home := -1
@@ -159,7 +64,7 @@ func TestShardRoutingInvariant(t *testing.T) {
 // inside the key's own shard, and the serve is charged to that same shard's
 // counters.
 func TestTranslationNeverCrossesShards(t *testing.T) {
-	s := NewSharded(Config{}, 8)
+	s := store.NewSharded(Config{}, 8)
 	src := Key{Bench: "pr", Input: "uni", Machine: "haswell"}
 	dst := Key{Bench: "pr", Input: "uni", Machine: "cascadelake"}
 	s.Commit(src, Entry{Distance: 16})
@@ -188,7 +93,7 @@ func TestTranslationNeverCrossesShards(t *testing.T) {
 // produced atomically... each writer does commit-then-lookup, so at any
 // consistent instant Hits <= Commits across the whole store.
 func TestCountersConsistentAggregate(t *testing.T) {
-	s := NewSharded(Config{}, 8)
+	s := store.NewSharded(Config{}, 8)
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
 	for w := 0; w < 8; w++ {
@@ -235,7 +140,7 @@ func TestCountersConsistentAggregate(t *testing.T) {
 // Afterwards the counters must balance: every hit consumed a budget charge
 // that a refund may have returned, every invalidation dropped a live entry.
 func TestShardedStress(t *testing.T) {
-	s := NewSharded(Config{MaxReuse: 4}, 8)
+	s := store.NewSharded(Config{MaxReuse: 4}, 8)
 	const sessions = 64
 	var wg sync.WaitGroup
 	for w := 0; w < sessions; w++ {
@@ -287,16 +192,55 @@ func TestShardIndexStability(t *testing.T) {
 	// re-hashed on import, but journal shard annotations are audited
 	// against it): pin a few values so an accidental hash change shows up.
 	k := Key{Bench: "pr", Input: "uniform"}
-	if got := ShardIndex(k, 1); got != 0 {
+	if got := store.ShardIndex(k, 1); got != 0 {
 		t.Fatalf("ShardIndex(n=1) = %d, want 0", got)
 	}
-	a := ShardIndex(k, 8)
+	a := store.ShardIndex(k, 8)
 	for i := 0; i < 100; i++ {
-		if ShardIndex(k, 8) != a {
+		if store.ShardIndex(k, 8) != a {
 			t.Fatal("ShardIndex not deterministic")
 		}
 	}
-	if ShardIndex(Key{Bench: "pr", Input: "uniform", Machine: "x"}, 8) != a {
+	if store.ShardIndex(Key{Bench: "pr", Input: "uniform", Machine: "x"}, 8) != a {
 		t.Fatal("ShardIndex depends on Machine")
+	}
+}
+
+// TestShardIndexNULInjective: the routing hash frames bench with its
+// length, not a separator byte, so (bench, input) pairs whose strings
+// themselves contain NUL never alias. Under the old NUL-separator hash
+// every pair here streamed the identical byte sequence "a\x00b\x00c" (or
+// "pr\x00\x00") and so shared a shard at every shard count.
+func TestShardIndexNULInjective(t *testing.T) {
+	const shards = 1 << 20
+	aliases := [][2]Key{
+		{{Bench: "a\x00b", Input: "c"}, {Bench: "a", Input: "b\x00c"}},
+		{{Bench: "pr\x00", Input: ""}, {Bench: "pr", Input: "\x00"}},
+		{{Bench: "", Input: "\x00x"}, {Bench: "\x00", Input: "x"}},
+	}
+	for _, pair := range aliases {
+		a, b := store.ShardIndex(pair[0], shards), store.ShardIndex(pair[1], shards)
+		if a == b {
+			t.Errorf("distinct pairs %q/%q and %q/%q alias to shard %d",
+				pair[0].Bench, pair[0].Input, pair[1].Bench, pair[1].Input, a)
+		}
+	}
+	// Routing is machine-blind and deterministic for NUL-bearing keys too,
+	// and re-shard recovery (Import re-hashes every key into the new
+	// layout) round-trips them losslessly.
+	s := store.NewSharded(Config{}, 8)
+	for i, pair := range aliases {
+		for _, k := range pair {
+			k.Machine = "clx"
+			s.Commit(k, Entry{Distance: i + 1})
+		}
+	}
+	exported := s.Export()
+	for _, n := range []int{1, 4, 13} {
+		dst := store.New(Config{}, n)
+		dst.Import(exported)
+		if got := dst.Export(); !reflect.DeepEqual(got, exported) {
+			t.Fatalf("NUL-bearing keys did not survive re-shard to %d shards", n)
+		}
 	}
 }

@@ -1,0 +1,296 @@
+package stored
+
+// Persistence for the store daemon, on internal/wal's checksummed framing:
+//
+//	store-snapshot.wal  meta{epoch E} + one entry record per live profile
+//	store-journal.wal   meta{epoch E} + one op record per accepted mutation
+//
+// Every snapshot rolls the epoch: write the whole store atomically under
+// epoch E+1, then reset the journal to an empty epoch-E+1 log. The epoch
+// stamp is what makes the pair crash-consistent without any cross-file
+// coordination — recovery folds the journal over the snapshot only when
+// their epochs match. The crash windows:
+//
+//   - mid-snapshot: WriteAtomic leaves the old epoch-E snapshot intact and
+//     the epoch-E journal still holds every op — fold, lose nothing.
+//   - after the snapshot lands, before the journal resets: the journal
+//     still says epoch E, the snapshot says E+1 — but those ops were
+//     exported into the E+1 snapshot, so the stale journal is redundant
+//     and recovery rightly ignores it.
+//   - mid-journal-reset: a truncated or headerless journal salvages to
+//     zero records, which reads as "no ops since snapshot". Correct again.
+//
+// Fold order equals commit order because Server.mu spans each store
+// mutation and its journal append, so replaying ops in sequence lands on
+// the same winner every live race resolved to.
+//
+// Refunds are deliberately not journaled: they move only reuse budget,
+// and Import (recovery's install path) grants fresh budgets anyway.
+//
+// A disk error degrades persistence — the daemon keeps serving from
+// memory, stops journaling, and reports the failure via Degraded and the
+// stats endpoint's health. No re-arm: unlike the fleet's persist lane, a
+// shared store that silently resumed journaling after missing ops would
+// recover to a hole-ridden state, which is worse than recovering to the
+// last good snapshot. (ROADMAP notes the possible snapshot-on-rearm
+// upgrade.)
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"rpg2/internal/store"
+	"rpg2/internal/wal"
+)
+
+const (
+	snapshotFile = "store-snapshot.wal"
+	journalFile  = "store-journal.wal"
+)
+
+// opRecord is one WAL record: the epoch meta ("epoch"), a snapshot entry
+// ("entry"), or a journaled mutation ("commit", "invalidate").
+type opRecord struct {
+	Op    string       `json:"op"`
+	Epoch uint64       `json:"epoch,omitempty"`
+	Key   store.Key    `json:"key,omitempty"`
+	Entry *store.Entry `json:"entry,omitempty"`
+}
+
+type persister struct {
+	dir     string
+	walCfg  wal.Config
+	every   int // mutations between snapshots (<0 = never)
+	epoch   uint64
+	journal *wal.Log
+	ops     int // journaled mutations since the last snapshot
+
+	// recoveredEntries is what openPersister folded out of the state dir.
+	recoveredEntries int
+
+	// degraded state is read by Degraded()/stats concurrently with
+	// appendOp under Server.mu, so it has its own lock.
+	degMu  sync.Mutex
+	degErr error
+}
+
+// openPersister recovers prior state from cfg.StateDir (unless Fresh) and
+// returns the persister plus the folded entries to import. The journal is
+// not opened here: the caller takes its first snapshot immediately after
+// importing, and snapshot() rolls the epoch and opens the fresh journal.
+func openPersister(cfg Config) (*persister, []store.KeyedEntry, error) {
+	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("stored: create state dir: %w", err)
+	}
+	p := &persister{
+		dir:    cfg.StateDir,
+		walCfg: wal.Config{Sync: cfg.Fsync, Interval: cfg.FsyncInterval},
+		every:  cfg.SnapshotEvery,
+	}
+	snapPath := filepath.Join(cfg.StateDir, snapshotFile)
+	jrnlPath := filepath.Join(cfg.StateDir, journalFile)
+	if cfg.Fresh {
+		for _, path := range []string{snapPath, jrnlPath} {
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return nil, nil, fmt.Errorf("stored: discard prior state: %w", err)
+			}
+		}
+		return p, nil, nil
+	}
+
+	snapEpoch, state, err := readSnapshot(snapPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	jrnlEpoch, ops, err := readJournal(jrnlPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	if jrnlEpoch == snapEpoch {
+		for _, rec := range ops {
+			switch rec.Op {
+			case "commit":
+				if rec.Entry != nil {
+					state[rec.Key] = *rec.Entry
+				}
+			case "invalidate":
+				// Unguarded on replay: the gen guard already ran live
+				// against the generation the op was issued for.
+				delete(state, rec.Key)
+			}
+		}
+	}
+	p.epoch = max(snapEpoch, jrnlEpoch)
+
+	entries := make([]store.KeyedEntry, 0, len(state))
+	for k, e := range state {
+		entries = append(entries, store.KeyedEntry{Key: k, Entry: e})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i].Key, entries[j].Key
+		if a.Bench != b.Bench {
+			return a.Bench < b.Bench
+		}
+		if a.Input != b.Input {
+			return a.Input < b.Input
+		}
+		return a.Machine < b.Machine
+	})
+	p.recoveredEntries = len(entries)
+	return p, entries, nil
+}
+
+// readSnapshot folds the snapshot file into a state map. A missing file
+// is an empty store; a salvaged tail keeps the valid prefix.
+func readSnapshot(path string) (uint64, map[store.Key]store.Entry, error) {
+	state := make(map[store.Key]store.Entry)
+	payloads, _, err := wal.ReadAll(path)
+	if os.IsNotExist(err) {
+		return 0, state, nil
+	}
+	if err != nil {
+		return 0, nil, fmt.Errorf("stored: read snapshot: %w", err)
+	}
+	var epoch uint64
+	for _, raw := range payloads {
+		var rec opRecord
+		if json.Unmarshal(raw, &rec) != nil {
+			continue // checksummed frame, so this is a version skew, not rot
+		}
+		switch rec.Op {
+		case "epoch":
+			epoch = rec.Epoch
+		case "entry":
+			if rec.Entry != nil {
+				state[rec.Key] = *rec.Entry
+			}
+		}
+	}
+	return epoch, state, nil
+}
+
+// readJournal returns the journal's epoch and its op records in append
+// order. A missing or headerless (mid-reset) journal is zero ops.
+func readJournal(path string) (uint64, []opRecord, error) {
+	payloads, _, err := wal.ReadAll(path)
+	if os.IsNotExist(err) {
+		return 0, nil, nil
+	}
+	if err != nil {
+		return 0, nil, fmt.Errorf("stored: read journal: %w", err)
+	}
+	var epoch uint64
+	var ops []opRecord
+	for _, raw := range payloads {
+		var rec opRecord
+		if json.Unmarshal(raw, &rec) != nil {
+			continue
+		}
+		if rec.Op == "epoch" {
+			epoch = rec.Epoch
+			continue
+		}
+		ops = append(ops, rec)
+	}
+	return epoch, ops, nil
+}
+
+// snapshot writes the whole store durably under a new epoch and resets
+// the journal. Callers hold Server.mu (or are pre-serving).
+func (p *persister) snapshot(entries []store.KeyedEntry) error {
+	if p == nil || p.isDegraded() {
+		return fmt.Errorf("stored: persistence degraded")
+	}
+	next := p.epoch + 1
+	payloads := make([][]byte, 0, len(entries)+1)
+	meta, _ := json.Marshal(opRecord{Op: "epoch", Epoch: next})
+	payloads = append(payloads, meta)
+	for i := range entries {
+		raw, err := json.Marshal(opRecord{Op: "entry", Key: entries[i].Key, Entry: &entries[i].Entry})
+		if err != nil {
+			return p.degrade(fmt.Errorf("stored: encode snapshot entry: %w", err))
+		}
+		payloads = append(payloads, raw)
+	}
+	if err := wal.WriteAtomic(filepath.Join(p.dir, snapshotFile), payloads); err != nil {
+		return p.degrade(fmt.Errorf("stored: write snapshot: %w", err))
+	}
+	// The snapshot is the commit point; now roll the journal under it.
+	if p.journal != nil {
+		p.journal.Close()
+		p.journal = nil
+	}
+	jrnlPath := filepath.Join(p.dir, journalFile)
+	if err := os.Remove(jrnlPath); err != nil && !os.IsNotExist(err) {
+		return p.degrade(fmt.Errorf("stored: reset journal: %w", err))
+	}
+	log, _, err := wal.Open(jrnlPath, p.walCfg)
+	if err != nil {
+		return p.degrade(fmt.Errorf("stored: open journal: %w", err))
+	}
+	if err := log.Append(meta); err != nil {
+		log.Abort()
+		return p.degrade(fmt.Errorf("stored: stamp journal epoch: %w", err))
+	}
+	p.journal = log
+	p.epoch = next
+	p.ops = 0
+	return nil
+}
+
+// appendOp journals one accepted mutation and snapshots when due. Callers
+// hold Server.mu, so the journal's order is the store's commit order. st
+// is only exported if this append trips the snapshot threshold.
+func (p *persister) appendOp(rec opRecord, st store.Store) {
+	if p.isDegraded() || p.journal == nil {
+		return
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		p.degrade(fmt.Errorf("stored: encode op: %w", err))
+		return
+	}
+	if err := p.journal.Append(raw); err != nil {
+		p.degrade(fmt.Errorf("stored: journal append: %w", err))
+		return
+	}
+	p.ops++
+	if p.every > 0 && p.ops >= p.every {
+		p.snapshot(st.Export())
+	}
+}
+
+func (p *persister) close() {
+	if p.journal != nil {
+		p.journal.Close()
+		p.journal = nil
+	}
+}
+
+func (p *persister) degrade(err error) error {
+	p.degMu.Lock()
+	if p.degErr == nil {
+		p.degErr = err
+	}
+	p.degMu.Unlock()
+	return err
+}
+
+func (p *persister) isDegraded() bool {
+	p.degMu.Lock()
+	defer p.degMu.Unlock()
+	return p.degErr != nil
+}
+
+func (p *persister) degradedErr() (string, bool) {
+	p.degMu.Lock()
+	defer p.degMu.Unlock()
+	if p.degErr == nil {
+		return "", false
+	}
+	return p.degErr.Error(), true
+}

@@ -1,0 +1,496 @@
+// Package stored is the out-of-process profile store: an HTTP/JSON daemon
+// wrapping any local store.Store (Memory or Sharded) so multiple fleet
+// daemons on one machine type can share profiles across processes. It is
+// the backend the store.Store interface was extracted for — the remote
+// client (internal/store/remote) implements the same interface over these
+// endpoints, so a fleet cannot tell a shared daemon from a private map.
+//
+// The gen-guard contract is the design center: generations live here, in
+// the wrapped store. Lookup and Commit return the daemon's gen, and
+// Commit/Refund/Invalidate forward the caller's, so two fleet processes
+// racing a commit on the same (bench, input, machine) key resolve exactly
+// like two in-process workers — the loser's Invalidate/Refund no-ops
+// against the winner's fresher generation.
+//
+// Endpoint map (one endpoint per interface method; POST bodies and all
+// responses are JSON):
+//
+//	POST /v1/store/lookup             {key}        -> {entry, gen, found}
+//	POST /v1/store/lookup-translated  {key}        -> {entry, from, gen, found}
+//	POST /v1/store/peek               {key}        -> {entry, found}
+//	POST /v1/store/peek-translated    {key}        -> {entry, from, found}
+//	POST /v1/store/commit             {key, entry} -> {gen}
+//	POST /v1/store/refund             {key, gen}   -> {ok}
+//	POST /v1/store/invalidate         {key, gen}   -> {ok}
+//	POST /v1/store/freeze                          -> {}
+//	POST /v1/store/thaw                            -> {}
+//	POST /v1/store/import             {entries}    -> {}
+//	GET  /v1/store/export                          -> {entries}
+//	GET  /v1/store/shard/{i}                       -> {entries}
+//	GET  /v1/store/stats                           -> {len, shards, counters, shard_counters}
+//	GET  /v1/healthz                               -> {status}
+//
+// With Config.StateDir set the daemon is crash-safe: every accepted
+// mutation (a commit, a guard-passing invalidate, an import) appends to an
+// op journal in internal/wal's checksummed framing, and the whole store
+// snapshots atomically every SnapshotEvery mutations. Restart folds
+// journal ops past the snapshot's watermark back over the snapshot, so a
+// kill -9 loses at most the unsynced WAL tail.
+package stored
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rpg2/internal/store"
+	"rpg2/internal/wal"
+)
+
+// Config tunes a store daemon.
+type Config struct {
+	// Store is the wrapped store's reuse policy.
+	Store store.Config
+	// Shards is the wrapped store's shard count (0/1 = Memory).
+	Shards int
+	// StateDir persists the op journal and snapshots here (empty =
+	// in-memory only). A state dir with prior state is recovered
+	// automatically — durability is the daemon's whole point — unless
+	// Fresh discards it.
+	StateDir string
+	// Fresh discards any prior state in StateDir instead of recovering it.
+	Fresh bool
+	// Fsync is the WAL durability policy (default interval).
+	Fsync wal.SyncMode
+	// FsyncInterval is the append count between fsyncs under interval
+	// fsync (default 64).
+	FsyncInterval int
+	// SnapshotEvery rewrites the snapshot after this many journaled
+	// mutations (default 256; negative = never, journal only).
+	SnapshotEvery int
+	// RequestTimeout bounds each request's handler (default 30s;
+	// negative = no deadline).
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies, 413 past it (default 1 MiB;
+	// negative = unlimited).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 256
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Server is the daemon: a wrapped store behind the endpoint map, with
+// optional WAL persistence. Serve Handler (or HTTPServer) and stop with
+// Drain.
+type Server struct {
+	cfg     Config
+	store   store.Store
+	mux     http.Handler
+	persist *persister // nil when StateDir is unset
+
+	// mu serializes mutating store ops with their journal appends, so the
+	// journal's op order is the store's commit order — recovery folds ops
+	// in sequence and must arrive at the same winner every racing pair
+	// arrived at live. Read paths never take it.
+	mu sync.Mutex
+
+	draining  atomic.Bool
+	drainOnce sync.Once
+}
+
+// New builds a daemon over a fresh store — or, when cfg.StateDir holds
+// prior state, over the recovered contents.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, store: store.New(cfg.Store, cfg.Shards)}
+	if cfg.StateDir != "" {
+		p, recovered, err := openPersister(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.persist = p
+		if len(recovered) > 0 {
+			s.store.Import(recovered)
+		}
+		// Seal the epoch start: the fresh snapshot carries the recovered
+		// state so the new journal can start empty.
+		if err := p.snapshot(s.store.Export()); err != nil {
+			p.close()
+			return nil, err
+		}
+	}
+	s.mux = s.routes()
+	return s, nil
+}
+
+// Store exposes the wrapped store (tests and the CLI's final stats).
+func (s *Server) Store() store.Store { return s.store }
+
+// Recovered reports how many entries the state dir restored (0 for a
+// fresh or in-memory daemon).
+func (s *Server) Recovered() int {
+	if s.persist == nil {
+		return 0
+	}
+	return s.persist.recoveredEntries
+}
+
+// Handler returns the daemon's HTTP handler with the middleware stack
+// (panic recovery outermost, then a per-request deadline) applied.
+func (s *Server) Handler() http.Handler {
+	return s.recoverPanics(s.withDeadline(s.mux))
+}
+
+// HTTPServer wraps Handler in an http.Server with real timeouts, so a
+// stalled peer cannot pin a connection forever.
+func (s *Server) HTTPServer() *http.Server {
+	return &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// DrainStats reports what Drain flushed.
+type DrainStats struct {
+	// Entries is the live entry count at drain.
+	Entries int
+	// Snapshotted says whether a final durable snapshot landed.
+	Snapshotted bool
+}
+
+// Drain seals the daemon: subsequent requests (except healthz) get 503, a
+// final snapshot lands if persistence is active, and the WAL closes. Safe
+// to call more than once.
+func (s *Server) Drain() DrainStats {
+	var st DrainStats
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		st.Entries = s.store.Len()
+		if s.persist != nil {
+			st.Snapshotted = s.persist.snapshot(s.store.Export()) == nil
+			s.persist.close()
+		}
+	})
+	return st
+}
+
+// Degraded reports whether persistence failed mid-run (the daemon keeps
+// serving from memory).
+func (s *Server) Degraded() (string, bool) {
+	if s.persist == nil {
+		return "", false
+	}
+	return s.persist.degradedErr()
+}
+
+// --- wire types ---
+
+type keyReq struct {
+	Key store.Key `json:"key"`
+}
+
+type commitReq struct {
+	Key   store.Key   `json:"key"`
+	Entry store.Entry `json:"entry"`
+}
+
+type genReq struct {
+	Key store.Key `json:"key"`
+	Gen uint64    `json:"gen"`
+}
+
+type lookupResp struct {
+	Entry store.Entry `json:"entry"`
+	From  store.Key   `json:"from,omitempty"`
+	Gen   uint64      `json:"gen,omitempty"`
+	Found bool        `json:"found"`
+}
+
+type genResp struct {
+	Gen uint64 `json:"gen"`
+}
+
+type okResp struct {
+	OK bool `json:"ok"`
+}
+
+type entriesMsg struct {
+	Entries []store.KeyedEntry `json:"entries"`
+}
+
+// statsResp answers Len/Shards/Counters/ShardCounters in one round trip;
+// the counters come from one consistent instant (the store's all-shard
+// critical section), so the remote client's snapshot is as torn-free as a
+// local store's.
+type statsResp struct {
+	Len           int              `json:"len"`
+	Shards        int              `json:"shards"`
+	Counters      store.Counters   `json:"counters"`
+	ShardCounters []store.Counters `json:"shard_counters"`
+	// Persistence is "active" or "degraded" when a state dir is configured,
+	// empty for an in-memory daemon.
+	Persistence      string `json:"persistence,omitempty"`
+	PersistenceError string `json:"persistence_error,omitempty"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// --- middleware ---
+
+// recoverPanics turns a handler panic into a 500 instead of killing the
+// daemon's whole connection.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				writeErr(w, http.StatusInternalServerError, "internal error: %v", rec)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withDeadline bounds each request with the configured timeout so a
+// wedged handler cannot hold a connection past RequestTimeout.
+func (s *Server) withDeadline(next http.Handler) http.Handler {
+	if s.cfg.RequestTimeout < 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// --- routing ---
+
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	mux.Handle("POST /v1/store/lookup", s.op(s.handleLookup))
+	mux.Handle("POST /v1/store/lookup-translated", s.op(s.handleLookupTranslated))
+	mux.Handle("POST /v1/store/peek", s.op(s.handlePeek))
+	mux.Handle("POST /v1/store/peek-translated", s.op(s.handlePeekTranslated))
+	mux.Handle("POST /v1/store/commit", s.op(s.handleCommit))
+	mux.Handle("POST /v1/store/refund", s.op(s.handleRefund))
+	mux.Handle("POST /v1/store/invalidate", s.op(s.handleInvalidate))
+	mux.Handle("POST /v1/store/freeze", s.op(s.handleFreeze))
+	mux.Handle("POST /v1/store/thaw", s.op(s.handleThaw))
+	mux.Handle("POST /v1/store/import", s.op(s.handleImport))
+	mux.Handle("GET /v1/store/export", s.op(s.handleExport))
+	mux.Handle("GET /v1/store/shard/{i}", s.op(s.handleExportShard))
+	mux.Handle("GET /v1/store/stats", s.op(s.handleStats))
+	return mux
+}
+
+// op gates every store endpoint on the drain seal.
+func (s *Server) op(h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			writeErr(w, http.StatusServiceUnavailable, "store daemon is draining")
+			return
+		}
+		h(w, r)
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+// decode reads one JSON request body (bounded by MaxBodyBytes) into v.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := r.Body
+	if s.cfg.MaxBodyBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+		} else {
+			writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		}
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	var req keyReq
+	if !s.decode(w, r, &req) {
+		return
+	}
+	e, gen, ok := s.store.Lookup(req.Key)
+	writeJSON(w, http.StatusOK, lookupResp{Entry: e, Gen: gen, Found: ok})
+}
+
+func (s *Server) handleLookupTranslated(w http.ResponseWriter, r *http.Request) {
+	var req keyReq
+	if !s.decode(w, r, &req) {
+		return
+	}
+	e, from, gen, ok := s.store.LookupTranslated(req.Key)
+	writeJSON(w, http.StatusOK, lookupResp{Entry: e, From: from, Gen: gen, Found: ok})
+}
+
+func (s *Server) handlePeek(w http.ResponseWriter, r *http.Request) {
+	var req keyReq
+	if !s.decode(w, r, &req) {
+		return
+	}
+	e, ok := s.store.Peek(req.Key)
+	writeJSON(w, http.StatusOK, lookupResp{Entry: e, Found: ok})
+}
+
+func (s *Server) handlePeekTranslated(w http.ResponseWriter, r *http.Request) {
+	var req keyReq
+	if !s.decode(w, r, &req) {
+		return
+	}
+	e, from, ok := s.store.PeekTranslated(req.Key)
+	writeJSON(w, http.StatusOK, lookupResp{Entry: e, From: from, Found: ok})
+}
+
+func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
+	var req commitReq
+	if !s.decode(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	gen := s.store.Commit(req.Key, req.Entry)
+	if gen != 0 && s.persist != nil {
+		s.persist.appendOp(opRecord{Op: "commit", Key: req.Key, Entry: &req.Entry}, s.store)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, genResp{Gen: gen})
+}
+
+func (s *Server) handleRefund(w http.ResponseWriter, r *http.Request) {
+	var req genReq
+	if !s.decode(w, r, &req) {
+		return
+	}
+	// Refunds move only the in-memory reuse budget — recovery resets
+	// budgets anyway (Import grants fresh ones), so nothing is journaled.
+	ok := s.store.Refund(req.Key, req.Gen)
+	writeJSON(w, http.StatusOK, okResp{OK: ok})
+}
+
+func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
+	var req genReq
+	if !s.decode(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	ok := s.store.Invalidate(req.Key, req.Gen)
+	if ok && s.persist != nil {
+		// Journal only guard-passing invalidations: the op deleted a live
+		// entry, so replay deletes it too (replay is unguarded — the guard
+		// already ran, live, against the gen it was issued for).
+		s.persist.appendOp(opRecord{Op: "invalidate", Key: req.Key}, s.store)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, okResp{OK: ok})
+}
+
+func (s *Server) handleFreeze(w http.ResponseWriter, r *http.Request) {
+	s.store.Freeze()
+	writeJSON(w, http.StatusOK, okResp{OK: true})
+}
+
+func (s *Server) handleThaw(w http.ResponseWriter, r *http.Request) {
+	s.store.Thaw()
+	writeJSON(w, http.StatusOK, okResp{OK: true})
+}
+
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	var req entriesMsg
+	if !s.decode(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	s.store.Import(req.Entries)
+	if s.persist != nil {
+		for i := range req.Entries {
+			s.persist.appendOp(opRecord{Op: "commit", Key: req.Entries[i].Key, Entry: &req.Entries[i].Entry}, s.store)
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, okResp{OK: true})
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, entriesMsg{Entries: s.store.Export()})
+}
+
+func (s *Server) handleExportShard(w http.ResponseWriter, r *http.Request) {
+	var i int
+	if _, err := fmt.Sscanf(r.PathValue("i"), "%d", &i); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad shard index %q", r.PathValue("i"))
+		return
+	}
+	if i < 0 || i >= s.store.Shards() {
+		writeErr(w, http.StatusNotFound, "no shard %d (store has %d)", i, s.store.Shards())
+		return
+	}
+	writeJSON(w, http.StatusOK, entriesMsg{Entries: s.store.ExportShard(i)})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	per := s.store.ShardCounters()
+	var tot store.Counters
+	for _, c := range per {
+		tot.Add(c)
+	}
+	resp := statsResp{
+		Len:           s.store.Len(),
+		Shards:        s.store.Shards(),
+		Counters:      tot,
+		ShardCounters: per,
+	}
+	if s.persist != nil {
+		resp.Persistence = "active"
+		if msg, bad := s.Degraded(); bad {
+			resp.Persistence, resp.PersistenceError = "degraded", msg
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -40,6 +40,8 @@ import (
 	"rpg2/internal/proc"
 	rpgcore "rpg2/internal/rpg2"
 	"rpg2/internal/store"
+	"rpg2/internal/store/remote"
+	"rpg2/internal/stored"
 	"rpg2/internal/wal"
 	"rpg2/internal/workloads"
 )
@@ -247,6 +249,39 @@ func NewProfileStore() ProfileStore { return fleet.NewStore(fleet.StoreConfig{})
 func NewShardedProfileStore(n int) ProfileStore {
 	return store.New(store.Config{}, n)
 }
+
+// StoreConfig tunes a profile store's reuse policy (MaxReuse serves per
+// committed entry before it goes stale; 0 = default 16).
+type StoreConfig = store.Config
+
+// StoreDaemonConfig tunes a shared store daemon: the wrapped store's
+// policy and shard layout, plus optional WAL persistence under StateDir.
+type StoreDaemonConfig = stored.Config
+
+// StoreDaemon is the out-of-process profile store (rpg2-stored): any
+// ProfileStore behind an HTTP/JSON API, one endpoint per Store method,
+// shareable by several fleet processes via FleetConfig.StoreAddr.
+// Generations live in the daemon, so cross-process commit races resolve
+// exactly like in-process ones. Serve its Handler and stop with Drain.
+type StoreDaemon = stored.Server
+
+// NewStoreDaemon builds a store daemon — over recovered contents when
+// cfg.StateDir holds prior state.
+func NewStoreDaemon(cfg StoreDaemonConfig) (*StoreDaemon, error) { return stored.New(cfg) }
+
+// RemoteStoreConfig points a remote profile store at a store daemon.
+type RemoteStoreConfig = remote.Config
+
+// RemoteProfileStore is a ProfileStore that forwards every operation to
+// an rpg2-stored daemon, retrying transient failures and degrading
+// permanently to a process-local fallback when the daemon is gone.
+// FleetConfig.StoreAddr builds one implicitly; construct explicitly to
+// tune retries or share a fallback.
+type RemoteProfileStore = remote.Client
+
+// NewRemoteStore builds a remote profile store client. The daemon is not
+// contacted until first use.
+func NewRemoteStore(cfg RemoteStoreConfig) *RemoteProfileStore { return remote.New(cfg) }
 
 // TranslateDistance scales a prefetch distance tuned on machine src into a
 // starting hypothesis for machine dst, by the ratio of the machines'
